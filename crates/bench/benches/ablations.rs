@@ -1,0 +1,66 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! butterfly vs binomial TSQR reduction, and the flat-tree coalescing factor
+//! of the sequential TensorLQ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tucker_core::{sthosvd_parallel, SthosvdConfig, SvdMethod};
+use tucker_data::hash_noise;
+use tucker_dtensor::{DistTensor, ProcessorGrid, ReductionTree};
+use tucker_linalg::tslq::{tslq_matrix, TslqOptions};
+use tucker_linalg::{Matrix, Scalar};
+use tucker_mpisim::{CostModel, Simulator};
+
+fn pseudo<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        T::from_f64(((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5)
+    })
+}
+
+/// Flat-tree coalescing (Alg. 2 "combine as many blocks as necessary",
+/// generalized): how many narrow blocks to fold per tplqt call.
+fn bench_tslq_coalesce(c: &mut Criterion) {
+    let a = pseudo::<f64>(48, 12288, 1);
+    let mut g = c.benchmark_group("tslq_coalesce_48x12288_block16");
+    for coalesce in [1usize, 4, 16, 64] {
+        g.bench_function(format!("coalesce_{coalesce}"), |b| {
+            b.iter(|| black_box(tslq_matrix(a.as_ref(), 16, TslqOptions { coalesce })))
+        });
+    }
+    g.finish();
+}
+
+/// Butterfly (paper's choice) vs binomial-tree-plus-broadcast reduction.
+fn bench_reduction_tree(c: &mut Criterion) {
+    let d = 16usize;
+    let dims = [d, d, d, d];
+    let grid = [2usize, 2, 2, 1];
+    let mut g = c.benchmark_group("reduction_tree_16^4_8ranks");
+    for tree in [ReductionTree::Butterfly, ReductionTree::Binomial] {
+        let cfg = SthosvdConfig::with_ranks(vec![3; 4]).method(SvdMethod::Qr).tree(tree);
+        g.bench_function(format!("{tree:?}"), |b| {
+            b.iter(|| {
+                let out = Simulator::new(8).with_cost(CostModel::andes()).run(|ctx| {
+                    let dt =
+                        DistTensor::from_fn(&dims, &ProcessorGrid::new(&grid), ctx.rank(), |gi| {
+                            let lin = gi[0] + d * (gi[1] + d * (gi[2] + d * gi[3]));
+                            hash_noise(2, lin)
+                        });
+                    sthosvd_parallel(ctx, &dt, &cfg).unwrap();
+                    ctx.virtual_time()
+                });
+                black_box(out.results)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tslq_coalesce, bench_reduction_tree
+);
+criterion_main!(benches);

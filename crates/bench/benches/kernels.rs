@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the local computational kernels, across both
+//! precisions — the microbenchmark layer under the paper's §4.2.1 tuning
+//! discussion (syrk vs LQ throughput is what decides Gram vs QR end-to-end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tucker_linalg::lq::gelqf;
+use tucker_linalg::svd::svd_left;
+use tucker_linalg::tslq::{tslq_matrix, TslqOptions};
+use tucker_linalg::{gemm_into, syev, syrk_lower, Matrix, Scalar, Trans};
+
+fn pseudo<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        T::from_f64(((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5)
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_128");
+    let a64 = pseudo::<f64>(128, 128, 1);
+    let b64 = pseudo::<f64>(128, 128, 2);
+    g.bench_function("double", |b| {
+        b.iter(|| black_box(gemm_into(a64.as_ref(), Trans::No, b64.as_ref(), Trans::No)))
+    });
+    let a32 = pseudo::<f32>(128, 128, 1);
+    let b32 = pseudo::<f32>(128, 128, 2);
+    g.bench_function("single", |b| {
+        b.iter(|| black_box(gemm_into(a32.as_ref(), Trans::No, b32.as_ref(), Trans::No)))
+    });
+    g.finish();
+}
+
+/// The §3.5 comparison in kernel form: Gram (syrk, n·m² flops) vs LQ
+/// (gelqf, 2·n·m² flops) of the same short-fat matrix.
+fn bench_gram_vs_lq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shortfat_64x8192");
+    let a64 = pseudo::<f64>(64, 8192, 3);
+    g.bench_function("syrk_double", |b| b.iter(|| black_box(syrk_lower(a64.as_ref()))));
+    g.bench_function("gelqf_double", |b| {
+        b.iter(|| {
+            let mut w = a64.clone();
+            gelqf(&mut w.as_mut());
+            black_box(w)
+        })
+    });
+    let a32 = pseudo::<f32>(64, 8192, 3);
+    g.bench_function("syrk_single", |b| b.iter(|| black_box(syrk_lower(a32.as_ref()))));
+    g.bench_function("gelqf_single", |b| {
+        b.iter(|| {
+            let mut w = a32.clone();
+            gelqf(&mut w.as_mut());
+            black_box(w)
+        })
+    });
+    g.bench_function("gelqf_blocked_double", |b| {
+        b.iter(|| {
+            let mut w = a64.clone();
+            tucker_linalg::blocked_qr::gelqf_blocked(&mut w.as_mut(), 32);
+            black_box(w)
+        })
+    });
+    g.bench_function("gelqf_blocked_single", |b| {
+        b.iter(|| {
+            let mut w = a32.clone();
+            tucker_linalg::blocked_qr::gelqf_blocked(&mut w.as_mut(), 32);
+            black_box(w)
+        })
+    });
+    g.finish();
+}
+
+fn bench_tslq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tslq_64x8192");
+    let a = pseudo::<f64>(64, 8192, 4);
+    g.bench_function("flat_tree_block64", |b| {
+        b.iter(|| black_box(tslq_matrix(a.as_ref(), 64, TslqOptions::default())))
+    });
+    g.finish();
+}
+
+fn bench_small_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("small_64x64");
+    let l64 = {
+        let a = pseudo::<f64>(64, 256, 5);
+        tucker_linalg::lq::lq_factor(a.as_ref())
+    };
+    g.bench_function("svd_left_double", |b| b.iter(|| black_box(svd_left(l64.as_ref()).unwrap())));
+    let gram = syrk_lower(pseudo::<f64>(64, 256, 6).as_ref());
+    g.bench_function("syev_double", |b| b.iter(|| black_box(syev(&gram).unwrap())));
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gemm, bench_gram_vs_lq, bench_tslq, bench_small_factorizations
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Simulated-parallel ST-HOSVD benchmark: host wall time of the full
+//! SPMD execution (8 ranks as threads), Gram vs QR. This measures the real
+//! arithmetic + simulation overhead; the *modeled* scaling lives in the
+//! fig3/fig4 binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tucker_core::{sthosvd_parallel, SthosvdConfig, SvdMethod};
+use tucker_data::hash_noise;
+use tucker_dtensor::{DistTensor, ProcessorGrid};
+use tucker_mpisim::{CostModel, Simulator};
+
+fn bench_parallel(c: &mut Criterion) {
+    let d = 20usize;
+    let dims = [d, d, d, d];
+    let grid = [2usize, 2, 2, 1];
+    let mut g = c.benchmark_group("parallel_20^4_8ranks");
+    for method in [SvdMethod::Gram, SvdMethod::Qr] {
+        let cfg = SthosvdConfig::with_ranks(vec![3; 4]).method(method);
+        g.bench_function(method.label(), |b| {
+            b.iter(|| {
+                let out = Simulator::new(8).with_cost(CostModel::zero()).run(|ctx| {
+                    let dt =
+                        DistTensor::from_fn(&dims, &ProcessorGrid::new(&grid), ctx.rank(), |gi| {
+                            let lin = gi[0] + d * (gi[1] + d * (gi[2] + d * gi[3]));
+                            hash_noise(1, lin)
+                        });
+                    sthosvd_parallel(ctx, &dt, &cfg).unwrap().ranks()
+                });
+                black_box(out.results)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parallel
+);
+criterion_main!(benches);

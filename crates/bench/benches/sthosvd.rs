@@ -1,0 +1,34 @@
+//! End-to-end sequential ST-HOSVD benchmark, all four (method × precision)
+//! variants on the same tensor — the wall-clock counterpart of the paper's
+//! Fig. 8b at laptop scale. (On this host single precision also shows its
+//! ~2x arithmetic advantage in real time, independent of the modeled clock.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tucker_core::{sthosvd, SthosvdConfig, SvdMethod};
+use tucker_data::hcci_surrogate;
+use tucker_tensor::Tensor;
+
+fn bench_sthosvd(c: &mut Criterion) {
+    let x64 = hcci_surrogate::<f64>(&[24, 24, 12, 24], 5);
+    let x32: Tensor<f32> = x64.cast();
+    let mut g = c.benchmark_group("sthosvd_24x24x12x24_tol1e-3");
+    for method in [SvdMethod::Gram, SvdMethod::Qr] {
+        let cfg = SthosvdConfig::with_tolerance(1e-3).method(method);
+        g.bench_function(format!("{}_double", method.label()), |b| {
+            b.iter(|| black_box(sthosvd(&x64, &cfg).unwrap()))
+        });
+        let cfg32 = cfg.clone();
+        g.bench_function(format!("{}_single", method.label()), |b| {
+            b.iter(|| black_box(sthosvd(&x32, &cfg32).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sthosvd
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! **Figure 10**: compressing the Video surrogate to *fixed ranks* (paper:
+//! ranks 200x200x3x200 for a 1080x1920x3x2200 tensor, ≈570x compression;
+//! here the same rank-to-dimension fractions at laptop scale), with all four
+//! variants.
+//!
+//! Expected shape (paper §4.5.3): all four variants reach the *same*
+//! relative error (the spectra only span ~2 orders, far above every noise
+//! floor), so Gram single is simply the fastest — ~2.2x over Gram double in
+//! the paper — and is the method of choice.
+
+use tucker_bench::{run_variant, write_csv, Table, Variant};
+use tucker_core::{ModeOrder, SthosvdConfig};
+use tucker_data::video_surrogate;
+
+fn main() {
+    // 1/20th of 1080x1920x3x2200 in the spatial/temporal modes.
+    let dims = [54usize, 96, 3, 110];
+    // Same fractions as the paper's 200/1080, 200/1920, 3/3, 200/2200.
+    let ranks = vec![10usize, 10, 3, 10];
+    let grid = [4usize, 2, 1, 1];
+    println!("Video surrogate {dims:?}, fixed ranks {ranks:?}, grid {grid:?}\n");
+    let x64 = video_surrogate::<f64>(&dims, 103);
+
+    let mut table = Table::new(&[
+        "variant",
+        "compression",
+        "error",
+        "modeled_s",
+        "LQ/Gram_s",
+        "SVD/EVD_s",
+        "TTM_s",
+    ]);
+    let cfg = SthosvdConfig::with_ranks(ranks).order(ModeOrder::Backward);
+    let mut errors = Vec::new();
+    for v in Variant::all() {
+        let row = run_variant(&x64, &grid, &cfg, v);
+        let phase = |a: &str, b: &str| {
+            row.phases.get(a).or_else(|| row.phases.get(b)).copied().unwrap_or(0.0)
+        };
+        println!(
+            "{:12}  compression {:8.1}  error {:.4}  modeled {:.4}s",
+            row.variant, row.compression, row.error, row.modeled_time
+        );
+        errors.push(row.error);
+        table.row(vec![
+            row.variant.clone(),
+            format!("{:.1}", row.compression),
+            format!("{:.4}", row.error),
+            format!("{:.4}", row.modeled_time),
+            format!("{:.4}", phase("LQ", "Gram")),
+            format!("{:.4}", phase("SVD", "EVD")),
+            format!("{:.4}", phase("TTM", "TTM")),
+        ]);
+    }
+    println!("\n{}", table.render());
+    let spread = errors.iter().cloned().fold(0.0f64, f64::max)
+        - errors.iter().cloned().fold(f64::MAX, f64::min);
+    println!("error spread across variants: {spread:.2e} (paper: all variants identical at 0.213)");
+    match write_csv("fig10_video", &table.to_csv()) {
+        Ok(p) => println!("CSV written to {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,121 @@
+//! **Figure 2**: time breakdown of the QR-SVD parallel ST-HOSVD across mode
+//! orderings (forward/backward) and processor grids (back-loaded to
+//! front-loaded), on a cubical 4-mode tensor.
+//!
+//! The paper runs 300⁴→30⁴ on 16 ranks (Cascade Lake) and 500³x500→50³x50 on
+//! 512 ranks (Andes). Here: a measured sweep at 32⁴→...(tolerance-free,
+//! fixed ranks 3⁴) on 16 *simulated* ranks, plus a modeled sweep at the
+//! paper's full 300⁴ scale via the §3.5 closed-form cost model.
+//!
+//! Expected shape (paper §4.2.4):
+//! * more than half the time goes to the first processed mode's LQ;
+//! * for each ordering, the fastest grid sets the first-processed mode's
+//!   grid dimension to 1 (no redistribution for the dominant LQ).
+
+use tucker_bench::{write_csv, Table};
+use tucker_core::model::{predict, ModelConfig};
+use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_dtensor::{DistTensor, ProcessorGrid};
+use tucker_mpisim::{CostModel, Simulator};
+use tucker_tensor::Tensor;
+
+fn measured_sweep() {
+    let dims = [32usize, 32, 32, 32];
+    let ranks = vec![3usize, 3, 3, 3];
+    println!("--- measured (simulated 16 ranks): {dims:?} -> {ranks:?} ---\n");
+    let x = Tensor::<f64>::from_fn(&dims, |idx| {
+        let lin = idx[0] + 32 * (idx[1] + 32 * (idx[2] + 32 * idx[3]));
+        tucker_data::hash_noise(7, lin)
+    });
+    let grids: [[usize; 4]; 5] =
+        [[1, 1, 2, 8], [1, 2, 2, 4], [2, 2, 2, 2], [4, 2, 2, 1], [8, 2, 1, 1]];
+    let mut table =
+        Table::new(&["order", "grid", "total_s", "first_LQ_s", "LQ_s", "SVD_s", "TTM_s"]);
+    for order in [ModeOrder::Forward, ModeOrder::Backward] {
+        for grid in grids {
+            let cfg = SthosvdConfig::with_ranks(ranks.clone())
+                .method(SvdMethod::Qr)
+                .order(order.clone());
+            let out = Simulator::new(16).with_cost(CostModel::andes()).run(|ctx| {
+                let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&grid), ctx.rank());
+                sthosvd_parallel(ctx, &dt, &cfg).unwrap();
+            });
+            let b = out.breakdown();
+            let first_mode = match order {
+                ModeOrder::Forward => 0,
+                ModeOrder::Backward => 3,
+                _ => unreachable!(),
+            };
+            let g = |k: &str| b.phases.get(k).map(|p| p.modeled).unwrap_or(0.0);
+            let first_lq = g(&format!("LQ#{first_mode}"));
+            let label = match order {
+                ModeOrder::Forward => "forward",
+                _ => "backward",
+            };
+            println!(
+                "{label:8} grid {grid:?}: total {:.4}s  first-LQ {:.4}s  (LQ {:.4}  SVD {:.4}  TTM {:.4})",
+                b.modeled_time,
+                first_lq,
+                g("LQ"),
+                g("SVD"),
+                g("TTM")
+            );
+            table.row(vec![
+                label.into(),
+                format!("{grid:?}").replace(',', "x"),
+                format!("{:.5}", b.modeled_time),
+                format!("{:.5}", first_lq),
+                format!("{:.5}", g("LQ")),
+                format!("{:.5}", g("SVD")),
+                format!("{:.5}", g("TTM")),
+            ]);
+        }
+        println!();
+    }
+    println!("{}", table.render());
+    let _ = write_csv("fig2_measured", &table.to_csv());
+}
+
+fn modeled_sweep() {
+    println!("--- modeled (paper scale): 300^4 -> 30^4 on 16 ranks (Cascade-Lake experiment) ---\n");
+    let grids: [[usize; 4]; 5] =
+        [[1, 1, 2, 8], [1, 2, 2, 4], [2, 2, 2, 2], [4, 2, 2, 1], [8, 2, 1, 1]];
+    let mut table = Table::new(&["order", "grid", "total_s", "redist_s", "factor_s", "svd_s", "ttm_s"]);
+    for (label, order) in [("forward", vec![0usize, 1, 2, 3]), ("backward", vec![3usize, 2, 1, 0])] {
+        for grid in grids {
+            let m = predict(&ModelConfig {
+                dims: vec![300; 4],
+                ranks: vec![30; 4],
+                grid: grid.to_vec(),
+                order: order.clone(),
+                method: SvdMethod::Qr,
+                bytes: 8,
+                cost: CostModel::andes(),
+            });
+            let sums = m.per_mode.iter().fold((0.0, 0.0, 0.0, 0.0), |acc, mc| {
+                (acc.0 + mc.redistribute, acc.1 + mc.factor, acc.2 + mc.small_svd, acc.3 + mc.ttm)
+            });
+            println!(
+                "{label:8} grid {grid:?}: total {:8.3}s  (redist {:.3}  factor {:.3}  svd {:.3}  ttm {:.3})",
+                m.total, sums.0, sums.1, sums.2, sums.3
+            );
+            table.row(vec![
+                label.into(),
+                format!("{grid:?}").replace(',', "x"),
+                format!("{:.4}", m.total),
+                format!("{:.4}", sums.0),
+                format!("{:.4}", sums.1),
+                format!("{:.4}", sums.2),
+                format!("{:.4}", sums.3),
+            ]);
+        }
+        println!();
+    }
+    println!("{}", table.render());
+    let _ = write_csv("fig2_modeled", &table.to_csv());
+}
+
+fn main() {
+    measured_sweep();
+    modeled_sweep();
+}

@@ -1,0 +1,117 @@
+//! **Figure 3**: weak scaling of QR-SVD vs Gram-SVD in single and double
+//! precision.
+//!
+//! Paper setup: random `250k x 250k x 250k x 250k` tensors on `k⁴` nodes
+//! (32·k⁴ cores), compressed to `25k⁴` cores, k = 1..3; Gram uses forward
+//! ordering with grid `1 x 2k x 4k x 4k²`, QR backward with the reverse.
+//! Local data fixed at ~1 GB/node.
+//!
+//! Here: a *measured* sweep at reduced size (`24k⁴` tensors on `k⁴` simulated
+//! ranks, ranks `3k⁴` — local data fixed) plus a *modeled* sweep at the
+//! paper's exact sizes via the §3.5 cost model.
+//!
+//! Expected shape (paper §4.3): times increase with k (unfolding columns
+//! grow), Gram single < QR single < Gram double < QR double, QR performs
+//! ~2x Gram's flops but scales the same; GFLOPS/core roughly flat.
+
+use tucker_bench::{write_csv, Table};
+use tucker_core::model::{predict, ModelConfig};
+use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_dtensor::{DistTensor, ProcessorGrid};
+use tucker_linalg::Scalar;
+use tucker_mpisim::{CostModel, Simulator};
+
+fn measured<T: Scalar>(k: usize, method: SvdMethod) -> (f64, f64, f64) {
+    let d = 24 * k;
+    let dims = [d, d, d, d];
+    let ranks = vec![3 * k; 4];
+    // Weak-scaling grids at reduced size: k⁴ ranks.
+    let (grid, order) = match method {
+        SvdMethod::Gram => ([1, k, k, k * k], ModeOrder::Forward),
+        _ => ([k * k, k, k, 1], ModeOrder::Backward),
+    };
+    let p: usize = grid.iter().product();
+    let cfg = SthosvdConfig::with_ranks(ranks).method(method).order(order);
+    let out = Simulator::new(p).with_cost(CostModel::andes()).run(|ctx| {
+        // Generate the rank's block pointwise — no global tensor exists.
+        let dt = DistTensor::from_fn(&dims, &ProcessorGrid::new(&grid), ctx.rank(), |g| {
+            let lin = g[0] + d * (g[1] + d * (g[2] + d * g[3]));
+            T::from_f64(tucker_data::hash_noise(11, lin))
+        });
+        sthosvd_parallel(ctx, &dt, &cfg).unwrap();
+    });
+    let b = out.breakdown();
+    (b.modeled_time, b.gflops_per_rank(p), b.total_flops)
+}
+
+fn main() {
+    println!("--- measured (simulated ranks): 24k^4 -> (3k)^4 on k^4 ranks ---\n");
+    let mut table = Table::new(&["k", "ranks", "variant", "modeled_s", "GFLOPS/rank", "flops_total"]);
+    for k in [1usize, 2] {
+        for (label, method, single) in [
+            ("Gram single", SvdMethod::Gram, true),
+            ("QR single", SvdMethod::Qr, true),
+            ("Gram double", SvdMethod::Gram, false),
+            ("QR double", SvdMethod::Qr, false),
+        ] {
+            let (t, gf, fl) = if single {
+                measured::<f32>(k, method)
+            } else {
+                measured::<f64>(k, method)
+            };
+            println!("k={k} ({} ranks)  {label:12}: modeled {t:.4}s  {gf:.2} GFLOPS/rank", k.pow(4));
+            table.row(vec![
+                k.to_string(),
+                k.pow(4).to_string(),
+                label.into(),
+                format!("{t:.5}"),
+                format!("{gf:.3}"),
+                format!("{fl:.3e}"),
+            ]);
+        }
+        println!();
+    }
+    println!("{}", table.render());
+    let _ = write_csv("fig3_weak_measured", &table.to_csv());
+
+    println!("--- modeled (paper scale): 250k^4 -> 25k^4 on 32k^4 cores ---\n");
+    let mut mt = Table::new(&["k", "cores", "variant", "modeled_s", "GFLOPS/core"]);
+    for k in [1usize, 2, 3, 4] {
+        let cores = 32 * k.pow(4);
+        for (label, method, bytes) in [
+            ("Gram single", SvdMethod::Gram, 4usize),
+            ("QR single", SvdMethod::Qr, 4),
+            ("Gram double", SvdMethod::Gram, 8),
+            ("QR double", SvdMethod::Qr, 8),
+        ] {
+            let (grid, order) = match method {
+                SvdMethod::Gram => (vec![1, 2 * k, 4 * k, 4 * k * k], vec![0usize, 1, 2, 3]),
+                _ => (vec![4 * k * k, 4 * k, 2 * k, 1], vec![3usize, 2, 1, 0]),
+            };
+            let m = predict(&ModelConfig {
+                dims: vec![250 * k; 4],
+                ranks: vec![25 * k; 4],
+                grid,
+                order,
+                method,
+                bytes,
+                cost: CostModel::andes(),
+            });
+            println!(
+                "k={k} ({cores:5} cores)  {label:12}: modeled {:9.3}s  {:.2} GFLOPS/core",
+                m.total,
+                m.gflops_per_rank()
+            );
+            mt.row(vec![
+                k.to_string(),
+                cores.to_string(),
+                label.into(),
+                format!("{:.4}", m.total),
+                format!("{:.3}", m.gflops_per_rank()),
+            ]);
+        }
+        println!();
+    }
+    println!("{}", mt.render());
+    let _ = write_csv("fig3_weak_modeled", &mt.to_csv());
+}

@@ -1,0 +1,99 @@
+//! **Figure 4 / Table 1**: strong scaling of the four variants on a fixed
+//! synthetic tensor.
+//!
+//! Paper setup: random `256⁴` tensor compressed to a `32⁴` core, 1–64 nodes
+//! (32–2048 cores) with the Table 1 processor grids, forward ordering for
+//! Gram and backward for QR.
+//!
+//! Here: a *measured* sweep at `32⁴ → 4⁴` on 1–16 simulated ranks with
+//! scaled grids, plus a *modeled* sweep at the paper's exact sizes and
+//! Table 1 grids via the §3.5 cost model.
+//!
+//! Expected shape (paper §4.4): times decrease with rank count for all
+//! variants; ordering Gram single < QR single < Gram double < QR double;
+//! QR single consistently ~30% faster than Gram double (up to 2x).
+
+use tucker_bench::grids::{strong_scaling_grids, table1_grid};
+use tucker_bench::{write_csv, Table};
+use tucker_core::model::{predict, ModelConfig};
+use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_dtensor::{DistTensor, ProcessorGrid};
+use tucker_linalg::Scalar;
+use tucker_mpisim::{CostModel, Simulator};
+
+fn measured<T: Scalar>(p: usize, method: SvdMethod) -> f64 {
+    let d = 32usize;
+    let dims = [d, d, d, d];
+    let ranks = vec![4usize; 4];
+    let (qr_grid, gram_grid) = strong_scaling_grids(p);
+    let (grid, order) = match method {
+        SvdMethod::Gram => (gram_grid, ModeOrder::Forward),
+        _ => (qr_grid, ModeOrder::Backward),
+    };
+    let cfg = SthosvdConfig::with_ranks(ranks).method(method).order(order);
+    let out = Simulator::new(p).with_cost(CostModel::andes()).run(|ctx| {
+        let dt = DistTensor::from_fn(&dims, &ProcessorGrid::new(&grid), ctx.rank(), |g| {
+            let lin = g[0] + d * (g[1] + d * (g[2] + d * g[3]));
+            T::from_f64(tucker_data::hash_noise(13, lin))
+        });
+        sthosvd_parallel(ctx, &dt, &cfg).unwrap();
+    });
+    out.breakdown().modeled_time
+}
+
+fn main() {
+    println!("--- measured (simulated ranks): 32^4 -> 4^4, 1..16 ranks ---\n");
+    let mut table = Table::new(&["ranks", "Gram single", "QR single", "Gram double", "QR double"]);
+    for p in [1usize, 2, 4, 8, 16] {
+        let gs = measured::<f32>(p, SvdMethod::Gram);
+        let qs = measured::<f32>(p, SvdMethod::Qr);
+        let gd = measured::<f64>(p, SvdMethod::Gram);
+        let qd = measured::<f64>(p, SvdMethod::Qr);
+        println!("P={p:3}:  Gram-s {gs:.4}s  QR-s {qs:.4}s  Gram-d {gd:.4}s  QR-d {qd:.4}s");
+        table.row(vec![
+            p.to_string(),
+            format!("{gs:.5}"),
+            format!("{qs:.5}"),
+            format!("{gd:.5}"),
+            format!("{qd:.5}"),
+        ]);
+    }
+    println!("\n{}", table.render());
+    let _ = write_csv("fig4_strong_measured", &table.to_csv());
+
+    println!("--- modeled (paper scale): 256^4 -> 32^4, Table 1 grids, 32..2048 cores ---\n");
+    let mut mt = Table::new(&["cores", "Gram single", "QR single", "Gram double", "QR double"]);
+    for cores in [32usize, 64, 128, 256, 512, 1024, 2048] {
+        let (qr_grid, gram_grid) = table1_grid(cores).unwrap();
+        let run = |method: SvdMethod, bytes: usize| {
+            let (grid, order) = match method {
+                SvdMethod::Gram => (gram_grid.to_vec(), vec![0usize, 1, 2, 3]),
+                _ => (qr_grid.to_vec(), vec![3usize, 2, 1, 0]),
+            };
+            predict(&ModelConfig {
+                dims: vec![256; 4],
+                ranks: vec![32; 4],
+                grid,
+                order,
+                method,
+                bytes,
+                cost: CostModel::andes(),
+            })
+            .total
+        };
+        let gs = run(SvdMethod::Gram, 4);
+        let qs = run(SvdMethod::Qr, 4);
+        let gd = run(SvdMethod::Gram, 8);
+        let qd = run(SvdMethod::Qr, 8);
+        println!("{cores:5} cores:  Gram-s {gs:8.4}s  QR-s {qs:8.4}s  Gram-d {gd:8.4}s  QR-d {qd:8.4}s  (QR-s vs Gram-d: {:.2}x)", gd / qs);
+        mt.row(vec![
+            cores.to_string(),
+            format!("{gs:.5}"),
+            format!("{qs:.5}"),
+            format!("{gd:.5}"),
+            format!("{qd:.5}"),
+        ]);
+    }
+    println!("\n{}", mt.render());
+    let _ = write_csv("fig4_strong_modeled", &mt.to_csv());
+}

@@ -1,0 +1,68 @@
+//! **Figure 8 / Table 2**: compressing the HCCI surrogate at tolerances
+//! 1e-2, 1e-4, 1e-6, 1e-8 with all four variants on a simulated parallel
+//! machine (paper: 4 nodes / 128 cores, 16x8x1x1 grid, backward ordering;
+//! here: 8 simulated ranks, 4x2x1x1 grid, same ordering).
+//!
+//! Expected shape (paper Tab. 2):
+//! * 1e-2 — all four variants reach the same compression and error;
+//!   Gram single is fastest (~2x over Gram double).
+//! * 1e-4 — Gram single fails (no compression, error stuck near its noise
+//!   floor); QR single is the fastest accurate variant (~60% over Gram
+//!   double in the paper).
+//! * 1e-6 — QR single also fails; Gram double is preferred.
+//! * 1e-8 — only QR double achieves the requested error.
+
+use tucker_bench::{run_variant, write_csv, Table, Variant};
+use tucker_core::{ModeOrder, SthosvdConfig};
+use tucker_data::hcci_surrogate;
+
+fn main() {
+    let dims = [60usize, 60, 33, 60];
+    let grid = [4usize, 2, 1, 1];
+    println!("HCCI surrogate {dims:?} on {} simulated ranks, grid {grid:?}, backward order\n", 8);
+    let x64 = hcci_surrogate::<f64>(&dims, 101);
+
+    let mut table = Table::new(&[
+        "tolerance",
+        "variant",
+        "compression",
+        "error",
+        "est_error",
+        "ranks",
+        "modeled_s",
+        "LQ/Gram_s",
+        "SVD/EVD_s",
+        "TTM_s",
+    ]);
+    for tol in [1e-2, 1e-4, 1e-6, 1e-8] {
+        let cfg = SthosvdConfig::with_tolerance(tol).order(ModeOrder::Backward);
+        for v in Variant::all() {
+            let row = run_variant(&x64, &grid, &cfg, v);
+            let phase = |a: &str, b: &str| {
+                row.phases.get(a).or_else(|| row.phases.get(b)).copied().unwrap_or(0.0)
+            };
+            table.row(vec![
+                format!("{tol:.0e}"),
+                row.variant.clone(),
+                format!("{:.2e}", row.compression),
+                format!("{:.2e}", row.error),
+                format!("{:.2e}", row.estimated_error),
+                format!("{:?}", row.ranks),
+                format!("{:.4}", row.modeled_time),
+                format!("{:.4}", phase("LQ", "Gram")),
+                format!("{:.4}", phase("SVD", "EVD")),
+                format!("{:.4}", phase("TTM", "TTM")),
+            ]);
+            println!(
+                "tol {tol:.0e}  {:12}  compression {:9.2e}  error {:9.2e}  modeled {:8.4}s  ranks {:?}",
+                row.variant, row.compression, row.error, row.modeled_time, row.ranks
+            );
+        }
+        println!();
+    }
+    println!("{}", table.render());
+    match write_csv("fig8_table2_hcci", &table.to_csv()) {
+        Ok(p) => println!("CSV written to {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,64 @@
+//! **Figure 9 / Table 3**: compressing the SP (Stats-Planar) surrogate at
+//! tolerances 1e-2 .. 1e-8 with all four variants (paper: 50 nodes,
+//! 40x20x2x1x1 grid, backward ordering; here: 8 simulated ranks,
+//! 4x2x1x1x1 grid, same ordering).
+//!
+//! Expected shape (paper Tab. 3): SP is larger and much more compressible
+//! than HCCI; the same variant-selection pattern holds — Gram single wins at
+//! 1e-2, fails at 1e-4 where QR single wins (~50% over Gram double), and at
+//! 1e-8 only QR double reaches the requested error.
+
+use tucker_bench::{run_variant, write_csv, Table, Variant};
+use tucker_core::{ModeOrder, SthosvdConfig};
+use tucker_data::sp_surrogate;
+
+fn main() {
+    let dims = [36usize, 36, 36, 11, 20];
+    let grid = [4usize, 2, 1, 1, 1];
+    println!("SP surrogate {dims:?} on 8 simulated ranks, grid {grid:?}, backward order\n");
+    let x64 = sp_surrogate::<f64>(&dims, 102);
+
+    let mut table = Table::new(&[
+        "tolerance",
+        "variant",
+        "compression",
+        "error",
+        "est_error",
+        "ranks",
+        "modeled_s",
+        "LQ/Gram_s",
+        "SVD/EVD_s",
+        "TTM_s",
+    ]);
+    for tol in [1e-2, 1e-4, 1e-6, 1e-8] {
+        let cfg = SthosvdConfig::with_tolerance(tol).order(ModeOrder::Backward);
+        for v in Variant::all() {
+            let row = run_variant(&x64, &grid, &cfg, v);
+            let phase = |a: &str, b: &str| {
+                row.phases.get(a).or_else(|| row.phases.get(b)).copied().unwrap_or(0.0)
+            };
+            table.row(vec![
+                format!("{tol:.0e}"),
+                row.variant.clone(),
+                format!("{:.2e}", row.compression),
+                format!("{:.2e}", row.error),
+                format!("{:.2e}", row.estimated_error),
+                format!("{:?}", row.ranks),
+                format!("{:.4}", row.modeled_time),
+                format!("{:.4}", phase("LQ", "Gram")),
+                format!("{:.4}", phase("SVD", "EVD")),
+                format!("{:.4}", phase("TTM", "TTM")),
+            ]);
+            println!(
+                "tol {tol:.0e}  {:12}  compression {:9.2e}  error {:9.2e}  modeled {:8.4}s  ranks {:?}",
+                row.variant, row.compression, row.error, row.modeled_time, row.ranks
+            );
+        }
+        println!();
+    }
+    println!("{}", table.render());
+    match write_csv("fig9_table3_sp", &table.to_csv()) {
+        Ok(p) => println!("CSV written to {p}"),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

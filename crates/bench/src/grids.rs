@@ -1,0 +1,77 @@
+//! Processor grid tables from the paper.
+
+/// Table 1 (strong scaling grids) for 4-mode tensors: given the core count,
+/// returns `(QR grid, Gram grid)` exactly as printed in the paper.
+pub fn table1_grid(cores: usize) -> Option<([usize; 4], [usize; 4])> {
+    let (qr, gram) = match cores {
+        32 => ([4, 4, 2, 1], [1, 1, 2, 16]),
+        64 => ([8, 4, 2, 1], [1, 1, 4, 16]),
+        128 => ([8, 8, 2, 1], [1, 1, 8, 16]),
+        256 => ([16, 8, 2, 1], [1, 1, 16, 16]),
+        512 => ([16, 8, 4, 1], [1, 2, 16, 16]),
+        1024 => ([16, 16, 4, 1], [1, 4, 16, 16]),
+        2048 => ([32, 16, 4, 1], [1, 4, 16, 32]),
+        _ => return None,
+    };
+    Some((qr, gram))
+}
+
+/// Scaled-down strong-scaling grids for the measured (simulated) runs:
+/// QR grids are front-loaded and keep the last mode at 1 (backward ordering
+/// benefits, §4.2), Gram grids are back-loaded (as the paper suggests for
+/// forward ordering).
+pub fn strong_scaling_grids(ranks: usize) -> ([usize; 4], [usize; 4]) {
+    match ranks {
+        1 => ([1, 1, 1, 1], [1, 1, 1, 1]),
+        2 => ([2, 1, 1, 1], [1, 1, 1, 2]),
+        4 => ([2, 2, 1, 1], [1, 1, 2, 2]),
+        8 => ([4, 2, 1, 1], [1, 1, 2, 4]),
+        16 => ([4, 4, 1, 1], [1, 1, 4, 4]),
+        32 => ([8, 4, 1, 1], [1, 2, 4, 4]),
+        _ => panic!("unsupported simulated rank count {ranks}"),
+    }
+}
+
+/// Weak-scaling grid of the paper (§4.3) for scale factor `k`:
+/// Gram uses forward ordering with `1 x 2k x 4k x 4k²`, QR uses backward
+/// ordering with the reverse `4k² x 4k x 2k x 1`.
+pub fn weak_scaling_grids(k: usize) -> ([usize; 4], [usize; 4]) {
+    let gram = [1, 2 * k, 4 * k, 4 * k * k];
+    let qr = [4 * k * k, 4 * k, 2 * k, 1];
+    (qr, gram)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_products_match_cores() {
+        for cores in [32, 64, 128, 256, 512, 1024, 2048] {
+            let (qr, gram) = table1_grid(cores).unwrap();
+            assert_eq!(qr.iter().product::<usize>(), cores);
+            assert_eq!(gram.iter().product::<usize>(), cores);
+            // QR grids keep the last mode at 1 (geqr fast path, §4.2.1).
+            assert_eq!(qr[3], 1);
+        }
+        assert!(table1_grid(7).is_none());
+    }
+
+    #[test]
+    fn scaled_grids_products() {
+        for p in [1, 2, 4, 8, 16, 32] {
+            let (qr, gram) = strong_scaling_grids(p);
+            assert_eq!(qr.iter().product::<usize>(), p);
+            assert_eq!(gram.iter().product::<usize>(), p);
+        }
+    }
+
+    #[test]
+    fn weak_grids_match_paper_total() {
+        for k in 1..=4 {
+            let (qr, gram) = weak_scaling_grids(k);
+            assert_eq!(gram.iter().product::<usize>(), 32 * k.pow(4));
+            assert_eq!(qr.iter().product::<usize>(), 32 * k.pow(4));
+        }
+    }
+}

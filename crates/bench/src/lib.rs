@@ -1,0 +1,14 @@
+//! Benchmark harness shared utilities.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; criterion kernel
+//! benches live in `benches/`. Everything here is plumbing: the four
+//! (algorithm × precision) variants, experiment runners over the simulated
+//! MPI machine, and plain-text/CSV reporting into `results/`.
+
+pub mod grids;
+pub mod report;
+pub mod variants;
+
+pub use grids::{strong_scaling_grids, table1_grid};
+pub use report::{write_csv, Table};
+pub use variants::{run_compression, run_variant, CompressionRow, Precision, Variant};

@@ -1,0 +1,313 @@
+//! Subcommand implementations for the `tucker` CLI.
+
+use crate::args::{parse_dims, Args};
+use std::time::Instant;
+use tucker_core::tucker_io::{read_tucker, write_tucker};
+use tucker_core::{sthosvd_with_info, ModeOrder, SthosvdConfig, SvdMethod, TuckerTensor};
+use tucker_data::{hcci_surrogate, hash_noise, sp_surrogate, video_surrogate};
+use tucker_linalg::Scalar;
+use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision};
+use tucker_tensor::Tensor;
+
+/// Usage text shown on errors and `tucker help`.
+pub const USAGE: &str = "\
+usage:
+  tucker generate <out.tns> --kind hcci|sp|video|random --dims 40x40x33x40 [--seed N] [--f32]
+  tucker compress <in.tns> <out.tkr> [--tol 1e-4 | --ranks 5x5x3x5]
+                  [--method qr|gram|gram-mixed|randomized] [--order forward|backward]
+  tucker decompress <in.tkr> <out.tns>
+  tucker info <file.tns|file.tkr>
+  tucker error <original.tns> <reconstruction.tns>
+  tucker help";
+
+/// Dispatch a parsed command line.
+pub fn run(a: &Args) -> Result<(), String> {
+    match a.command.as_str() {
+        "generate" => generate(a),
+        "compress" => compress(a),
+        "decompress" => decompress(a),
+        "info" => info(a),
+        "error" => error_cmd(a),
+        "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+fn io_err(e: std::io::Error) -> String {
+    e.to_string()
+}
+
+fn generate(a: &Args) -> Result<(), String> {
+    let out = a.pos(0, "out.tns")?;
+    let kind = a.opt("kind").unwrap_or("random");
+    let dims = parse_dims(a.opt("dims").ok_or("generate requires --dims")?)?;
+    let seed: u64 = a.opt("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let x: Tensor<f64> = match kind {
+        "hcci" => {
+            if dims.len() != 4 {
+                return Err("hcci needs 4 modes".into());
+            }
+            hcci_surrogate(&dims, seed)
+        }
+        "sp" => {
+            if dims.len() != 5 {
+                return Err("sp needs 5 modes".into());
+            }
+            sp_surrogate(&dims, seed)
+        }
+        "video" => {
+            if dims.len() != 4 {
+                return Err("video needs 4 modes".into());
+            }
+            video_surrogate(&dims, seed)
+        }
+        "random" => {
+            let mut lin = 0usize;
+            Tensor::from_fn(&dims, |_| {
+                lin += 1;
+                hash_noise(seed, lin)
+            })
+        }
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    if a.flag("f32") {
+        let x32: Tensor<f32> = x.cast();
+        write_tensor(out, &x32).map_err(io_err)?;
+    } else {
+        write_tensor(out, &x).map_err(io_err)?;
+    }
+    println!("wrote {kind} tensor {dims:?} to {out}");
+    Ok(())
+}
+
+fn build_config(a: &Args) -> Result<SthosvdConfig, String> {
+    let mut cfg = if let Some(r) = a.opt("ranks") {
+        SthosvdConfig::with_ranks(parse_dims(r)?)
+    } else {
+        let tol: f64 = a
+            .opt("tol")
+            .unwrap_or("1e-4")
+            .parse()
+            .map_err(|_| "bad --tol")?;
+        SthosvdConfig::with_tolerance(tol)
+    };
+    cfg = match a.opt("method").unwrap_or("qr") {
+        "qr" => cfg.method(SvdMethod::Qr),
+        "gram" => cfg.method(SvdMethod::Gram),
+        "gram-mixed" => cfg.method(SvdMethod::GramMixed),
+        "randomized" => cfg.method(SvdMethod::Randomized),
+        other => return Err(format!("unknown --method '{other}'")),
+    };
+    cfg = match a.opt("order").unwrap_or("forward") {
+        "forward" => cfg.order(ModeOrder::Forward),
+        "backward" => cfg.order(ModeOrder::Backward),
+        other => return Err(format!("unknown --order '{other}'")),
+    };
+    Ok(cfg)
+}
+
+fn compress_typed<T: Scalar + tucker_tensor::io::IoScalar>(
+    input: &str,
+    output: &str,
+    cfg: &SthosvdConfig,
+) -> Result<(), String> {
+    let x: Tensor<T> = read_tensor(input).map_err(io_err)?;
+    let t0 = Instant::now();
+    let out = sthosvd_with_info(&x, cfg).map_err(|e| e.to_string())?;
+    let dt = t0.elapsed().as_secs_f64();
+    write_tucker(output, &out.tucker).map_err(io_err)?;
+    println!(
+        "compressed {:?} -> ranks {:?} ({:.1}x) in {dt:.2}s; estimated error {:.3e}",
+        x.dims(),
+        out.tucker.ranks(),
+        out.tucker.compression_ratio(),
+        out.estimated_error.to_f64()
+    );
+    Ok(())
+}
+
+fn compress(a: &Args) -> Result<(), String> {
+    let input = a.pos(0, "in.tns")?.to_string();
+    let output = a.pos(1, "out.tkr")?.to_string();
+    let cfg = build_config(a)?;
+    let hdr = read_tensor_header(&input).map_err(io_err)?;
+    match hdr.precision {
+        StoredPrecision::Single => compress_typed::<f32>(&input, &output, &cfg),
+        StoredPrecision::Double => compress_typed::<f64>(&input, &output, &cfg),
+    }
+}
+
+fn decompress(a: &Args) -> Result<(), String> {
+    let input = a.pos(0, "in.tkr")?;
+    let output = a.pos(1, "out.tns")?;
+    // Try double first, then single.
+    if let Ok(tk) = read_tucker::<f64>(input) {
+        let x = tk.reconstruct();
+        write_tensor(output, &x).map_err(io_err)?;
+        println!("reconstructed {:?} to {output}", x.dims());
+        return Ok(());
+    }
+    let tk: TuckerTensor<f32> = read_tucker(input).map_err(io_err)?;
+    let x = tk.reconstruct();
+    write_tensor(output, &x).map_err(io_err)?;
+    println!("reconstructed {:?} to {output}", x.dims());
+    Ok(())
+}
+
+fn info(a: &Args) -> Result<(), String> {
+    let path = a.pos(0, "file")?;
+    if let Ok(hdr) = read_tensor_header(path) {
+        let elems: usize = hdr.dims.iter().product();
+        let width = match hdr.precision {
+            StoredPrecision::Single => 4,
+            StoredPrecision::Double => 8,
+        };
+        println!(
+            "tensor file: dims {:?}, {} precision, {elems} elements, {} bytes payload",
+            hdr.dims,
+            if width == 4 { "single" } else { "double" },
+            elems * width
+        );
+        return Ok(());
+    }
+    if let Ok(tk) = read_tucker::<f64>(path) {
+        print_tucker_info(&tk);
+        return Ok(());
+    }
+    if let Ok(tk) = read_tucker::<f32>(path) {
+        print_tucker_info(&tk);
+        return Ok(());
+    }
+    Err(format!("{path}: not a recognized tensor or Tucker file"))
+}
+
+fn print_tucker_info<T: Scalar>(tk: &TuckerTensor<T>) {
+    println!(
+        "tucker file: original dims {:?}, ranks {:?}, {} parameters, compression {:.1}x",
+        tk.original_dims(),
+        tk.ranks(),
+        tk.num_parameters(),
+        tk.compression_ratio()
+    );
+}
+
+fn error_cmd(a: &Args) -> Result<(), String> {
+    let orig = a.pos(0, "original.tns")?;
+    let recon = a.pos(1, "reconstruction.tns")?;
+    let ho = read_tensor_header(orig).map_err(io_err)?;
+    let hr = read_tensor_header(recon).map_err(io_err)?;
+    if ho.dims != hr.dims {
+        return Err(format!("dimension mismatch: {:?} vs {:?}", ho.dims, hr.dims));
+    }
+    // Compare in f64 regardless of storage.
+    let x: Tensor<f64> = match ho.precision {
+        StoredPrecision::Double => read_tensor(orig).map_err(io_err)?,
+        StoredPrecision::Single => read_tensor::<f32>(orig).map_err(io_err)?.cast(),
+    };
+    let y: Tensor<f64> = match hr.precision {
+        StoredPrecision::Double => read_tensor(recon).map_err(io_err)?,
+        StoredPrecision::Single => read_tensor::<f32>(recon).map_err(io_err)?.cast(),
+    };
+    println!("relative error: {:.6e}", x.relative_error_to(&y));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tucker_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn full_pipeline_roundtrip() {
+        let dir = tmpdir();
+        let tns = dir.join("x.tns").display().to_string();
+        let tkr = dir.join("x.tkr").display().to_string();
+        let rec = dir.join("r.tns").display().to_string();
+
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind hcci --dims 12x12x8x12 --seed 7"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!("info {tns}"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!(
+            "compress {tns} {tkr} --tol 1e-3 --method qr --order backward"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!("info {tkr}"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!("decompress {tkr} {rec}"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!("error {tns} {rec}"))).unwrap()).unwrap();
+
+        // Check the error numerically, not just that it printed.
+        let x: Tensor<f64> = read_tensor(&tns).unwrap();
+        let y: Tensor<f64> = read_tensor(&rec).unwrap();
+        assert!(x.relative_error_to(&y) <= 1e-3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn f32_pipeline_with_mixed_method() {
+        let dir = tmpdir();
+        let tns = dir.join("s.tns").display().to_string();
+        let tkr = dir.join("s.tkr").display().to_string();
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind random --dims 8x8x8 --f32"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!(
+            "compress {tns} {tkr} --ranks 3x3x3 --method gram-mixed"
+        )))
+        .unwrap())
+        .unwrap();
+        let tk: TuckerTensor<f32> = read_tucker(&tkr).unwrap();
+        assert_eq!(tk.ranks(), vec![3, 3, 3]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn randomized_requires_ranks() {
+        let dir = tmpdir();
+        let tns = dir.join("t.tns").display().to_string();
+        let tkr = dir.join("t.tkr").display().to_string();
+        run(&parse(&toks(&format!("generate {tns} --kind random --dims 6x6x6"))).unwrap())
+            .unwrap();
+        let r = run(&parse(&toks(&format!(
+            "compress {tns} {tkr} --tol 1e-2 --method randomized"
+        )))
+        .unwrap());
+        assert!(r.is_err(), "tolerance-driven randomized must be rejected");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        assert!(run(&parse(&toks("frobnicate x")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_in_error_cmd() {
+        let dir = tmpdir();
+        let a = dir.join("a1.tns").display().to_string();
+        let b = dir.join("b1.tns").display().to_string();
+        run(&parse(&toks(&format!("generate {a} --kind random --dims 4x4"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!("generate {b} --kind random --dims 4x5"))).unwrap()).unwrap();
+        assert!(run(&parse(&toks(&format!("error {a} {b}"))).unwrap()).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

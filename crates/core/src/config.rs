@@ -1,0 +1,192 @@
+//! Configuration of an ST-HOSVD run: SVD algorithm, mode ordering,
+//! truncation criterion, and the tuning knobs of §4.2.
+
+use tucker_dtensor::ReductionTree;
+use tucker_linalg::randomized::RandomizedSvdConfig;
+use tucker_linalg::tslq::TslqOptions;
+
+/// Which SVD algorithm factors each unfolding (the paper's central choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SvdMethod {
+    /// TuckerMPI's Gram-SVD: eigendecomposition of `X_(n) X_(n)ᵀ` (§2.3).
+    /// Half the flops of QR, but singular values below `‖A‖·√ε` are noise.
+    Gram,
+    /// The paper's QR-SVD: LQ of the unfolding, SVD of the triangle (§3.1).
+    /// Twice the flops of Gram, accurate down to `‖A‖·ε`.
+    Qr,
+    /// Randomized range-finder SVD (Halko et al.) — the competitor the
+    /// paper's conclusion points at for loose tolerances (§5). Requires
+    /// fixed ranks ([`Truncation::Ranks`]); sequential driver only.
+    Randomized,
+    /// Mixed-precision Gram-SVD (the paper's §5 future work): data and TTMs
+    /// stay in the working precision, the Gram accumulation and
+    /// eigendecomposition run in `f64`. Accuracy floor ~`ε_s·‖A‖` (like
+    /// QR-single) at Gram-like structure.
+    GramMixed,
+}
+
+impl SvdMethod {
+    /// Label used in experiment output ("Gram" / "QR", as in the paper).
+    pub fn label(self) -> &'static str {
+        match self {
+            SvdMethod::Gram => "Gram",
+            SvdMethod::Qr => "QR",
+            SvdMethod::Randomized => "Randomized",
+            SvdMethod::GramMixed => "Gram mixed",
+        }
+    }
+}
+
+/// Order in which ST-HOSVD processes the modes (§4.2.3: the paper considers
+/// the forward and backward orderings of the storage order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModeOrder {
+    /// `0, 1, ..., N-1`.
+    Forward,
+    /// `N-1, ..., 1, 0`.
+    Backward,
+    /// Explicit permutation of `0..N`.
+    Custom(Vec<usize>),
+}
+
+impl ModeOrder {
+    /// Resolve to an explicit permutation for `n` modes.
+    pub fn resolve(&self, n: usize) -> Vec<usize> {
+        match self {
+            ModeOrder::Forward => (0..n).collect(),
+            ModeOrder::Backward => (0..n).rev().collect(),
+            ModeOrder::Custom(p) => {
+                assert_eq!(p.len(), n, "mode order length mismatch");
+                let mut seen = vec![false; n];
+                for &m in p {
+                    assert!(m < n && !seen[m], "mode order must be a permutation");
+                    seen[m] = true;
+                }
+                p.clone()
+            }
+        }
+    }
+}
+
+/// Truncation criterion (Alg. 1 line 5, or fixed ranks as in the paper's
+/// Video experiment).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Truncation {
+    /// Relative error tolerance ε: per-mode tail threshold `ε²‖X‖²/N`.
+    Tolerance(f64),
+    /// Fixed per-mode ranks (capped at the mode dimension).
+    Ranks(Vec<usize>),
+    /// No truncation: full HOSVD factors (used to read off the per-mode
+    /// singular value profiles, Figs. 5–7).
+    None,
+}
+
+/// Full configuration of an ST-HOSVD run.
+#[derive(Clone, Debug)]
+pub struct SthosvdConfig {
+    /// SVD algorithm for the unfoldings.
+    pub method: SvdMethod,
+    /// Mode processing order.
+    pub mode_order: ModeOrder,
+    /// Truncation criterion.
+    pub truncation: Truncation,
+    /// Flat-tree LQ options (sequential QR path).
+    pub tslq: TslqOptions,
+    /// TSQR reduction tree (parallel QR path).
+    pub tree: ReductionTree,
+    /// Parameters of the randomized method (used only when
+    /// `method == SvdMethod::Randomized`).
+    pub randomized: RandomizedSvdConfig,
+}
+
+impl SthosvdConfig {
+    /// Tolerance-driven config with defaults (QR-SVD, forward order).
+    pub fn with_tolerance(eps: f64) -> Self {
+        SthosvdConfig {
+            method: SvdMethod::Qr,
+            mode_order: ModeOrder::Forward,
+            truncation: Truncation::Tolerance(eps),
+            tslq: TslqOptions::default(),
+            tree: ReductionTree::Butterfly,
+            randomized: RandomizedSvdConfig::default(),
+        }
+    }
+
+    /// Fixed-rank config with defaults.
+    pub fn with_ranks(ranks: Vec<usize>) -> Self {
+        SthosvdConfig { truncation: Truncation::Ranks(ranks), ..Self::with_tolerance(0.0) }
+    }
+
+    /// No-truncation config (full HOSVD; singular-value probes).
+    pub fn no_truncation() -> Self {
+        SthosvdConfig { truncation: Truncation::None, ..Self::with_tolerance(0.0) }
+    }
+
+    /// Set the SVD method.
+    pub fn method(mut self, m: SvdMethod) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Set the mode order.
+    pub fn order(mut self, o: ModeOrder) -> Self {
+        self.mode_order = o;
+        self
+    }
+
+    /// Set the TSQR reduction tree.
+    pub fn tree(mut self, t: ReductionTree) -> Self {
+        self.tree = t;
+        self
+    }
+
+    /// Set flat-tree LQ coalescing.
+    pub fn tslq(mut self, t: TslqOptions) -> Self {
+        self.tslq = t;
+        self
+    }
+
+    /// Set the randomized-SVD parameters.
+    pub fn randomized(mut self, r: RandomizedSvdConfig) -> Self {
+        self.randomized = r;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_resolution() {
+        assert_eq!(ModeOrder::Forward.resolve(4), vec![0, 1, 2, 3]);
+        assert_eq!(ModeOrder::Backward.resolve(4), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn custom_permutation_accepted() {
+        assert_eq!(ModeOrder::Custom(vec![2, 0, 1]).resolve(3), vec![2, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn duplicate_mode_rejected() {
+        ModeOrder::Custom(vec![0, 0, 1]).resolve(3);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = SthosvdConfig::with_tolerance(1e-4)
+            .method(SvdMethod::Gram)
+            .order(ModeOrder::Backward);
+        assert_eq!(cfg.method, SvdMethod::Gram);
+        assert_eq!(cfg.mode_order, ModeOrder::Backward);
+        assert_eq!(cfg.truncation, Truncation::Tolerance(1e-4));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SvdMethod::Gram.label(), "Gram");
+        assert_eq!(SvdMethod::Qr.label(), "QR");
+    }
+}

@@ -1,0 +1,42 @@
+//! ST-HOSVD: the Sequentially Truncated Higher-Order SVD (Alg. 1 of the
+//! paper, after Vannieuwenhoven et al.), in sequential and simulated-MPI
+//! parallel form, with the SVD of each unfolding computed either by
+//! TuckerMPI's **Gram-SVD** or by the paper's numerically accurate **QR-SVD**
+//! — in single or double precision.
+//!
+//! The four (algorithm × precision) variants the paper compares are spanned
+//! by [`SvdMethod`] × the scalar type parameter:
+//!
+//! | variant | accuracy floor (singular values) | relative speed |
+//! |---|---|---|
+//! | Gram single | `‖A‖·√ε_s ≈ 3e-4` | fastest |
+//! | QR single | `‖A‖·ε_s ≈ 1e-7` | ~2x flops of Gram single |
+//! | Gram double | `‖A‖·√ε_d ≈ 1e-8` | ~2x cost of Gram single |
+//! | QR double | `‖A‖·ε_d ≈ 2e-16` | slowest |
+//!
+//! * [`sthosvd`] / [`SthosvdConfig`] — sequential driver (paper §3.3).
+//! * [`parallel::sthosvd_parallel`] — the distributed algorithm (paper §3.4)
+//!   running on [`tucker_mpisim`] ranks.
+//! * [`TuckerTensor`] — core + factors, reconstruction, compression ratio.
+//! * [`model`] — closed-form α-β-γ cost model of §3.5, used to predict
+//!   paper-scale runs that exceed the host machine.
+
+pub mod config;
+pub mod hosvd;
+pub mod model;
+pub mod order;
+pub mod parallel;
+pub mod sthosvd;
+pub mod svd_driver;
+pub mod truncate;
+pub mod tucker;
+pub mod tucker_io;
+
+pub use config::{ModeOrder, SthosvdConfig, SvdMethod, Truncation};
+pub use parallel::{sthosvd_parallel, ParallelOutput};
+pub use sthosvd::{sthosvd, sthosvd_with_info, SthosvdOutput};
+pub use hosvd::hosvd;
+pub use order::{optimize_mode_order, OrderSearch};
+pub use truncate::choose_rank;
+pub use tucker::TuckerTensor;
+pub use tucker_io::{read_tucker, write_tucker};

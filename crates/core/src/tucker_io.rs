@@ -1,0 +1,169 @@
+//! Tucker decomposition file I/O ("TUCK" format): a core tensor plus one
+//! factor matrix per mode, self-describing, little-endian.
+//!
+//! ```text
+//! magic   4 bytes  b"TUCK"
+//! version u32      1
+//! scalar  u32      4 or 8
+//! nmodes  u32
+//! per mode: rows u64, cols u64 (factor shapes; cols = core dims)
+//! factors  column-major scalars, mode order
+//! core     scalars, first-mode-fastest
+//! ```
+
+use crate::tucker::TuckerTensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tucker_linalg::Matrix;
+use tucker_tensor::io::IoScalar;
+use tucker_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"TUCK";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Write a Tucker decomposition.
+pub fn write_tucker<T: IoScalar>(path: impl AsRef<Path>, tk: &TuckerTensor<T>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, T::TAG)?;
+    write_u32(&mut w, tk.factors.len() as u32)?;
+    for u in &tk.factors {
+        write_u64(&mut w, u.rows() as u64)?;
+        write_u64(&mut w, u.cols() as u64)?;
+    }
+    for u in &tk.factors {
+        for &v in u.data() {
+            v.write_le(&mut w)?;
+        }
+    }
+    for &v in tk.core.data() {
+        v.write_le(&mut w)?;
+    }
+    w.flush()
+}
+
+/// Read a Tucker decomposition stored at precision `T`.
+pub fn read_tucker<T: IoScalar>(path: impl AsRef<Path>) -> io::Result<TuckerTensor<T>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TUCK file"));
+    }
+    if read_u32(&mut r)? != VERSION {
+        return Err(bad("unsupported TUCK version"));
+    }
+    if read_u32(&mut r)? != T::TAG {
+        return Err(bad("file precision does not match the requested scalar type"));
+    }
+    let nmodes = read_u32(&mut r)? as usize;
+    if nmodes > 16 {
+        return Err(bad("implausible mode count"));
+    }
+    let mut shapes = Vec::with_capacity(nmodes);
+    for _ in 0..nmodes {
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        shapes.push((rows, cols));
+    }
+    let mut factors = Vec::with_capacity(nmodes);
+    for &(rows, cols) in &shapes {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(T::read_le(&mut r)?);
+        }
+        factors.push(Matrix::from_col_major(rows, cols, data));
+    }
+    let core_dims: Vec<usize> = shapes.iter().map(|&(_, c)| c).collect();
+    let total: usize = core_dims.iter().product();
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(T::read_le(&mut r)?);
+    }
+    Ok(TuckerTensor { core: Tensor::from_data(&core_dims, data), factors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SthosvdConfig;
+    use crate::sthosvd::sthosvd;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tucker_tkio_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample() -> (Tensor<f64>, TuckerTensor<f64>) {
+        let x = Tensor::from_fn(&[8, 7, 6], |i| {
+            10f64.powf(-(i[0] as f64)) * ((i[1] * 6 + i[2]) as f64 * 0.31).sin()
+        });
+        let tk = sthosvd(&x, &SthosvdConfig::with_tolerance(1e-3)).unwrap();
+        (x, tk)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (x, tk) = sample();
+        let p = tmp("a.tkr");
+        write_tucker(&p, &tk).unwrap();
+        let back: TuckerTensor<f64> = read_tucker(&p).unwrap();
+        assert_eq!(back.ranks(), tk.ranks());
+        assert_eq!(back.core, tk.core);
+        for (a, b) in back.factors.iter().zip(&tk.factors) {
+            assert_eq!(a, b);
+        }
+        // Reconstruction identical ⇒ error identical.
+        assert_eq!(back.relative_error(&x), tk.relative_error(&x));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let p = tmp("b.tkr");
+        std::fs::write(&p, b"TNSRxxxxxxxxxxxxxxxx").unwrap();
+        assert!(read_tucker::<f64>(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn single_precision_roundtrip() {
+        let (_, tk64) = sample();
+        let tk = TuckerTensor::<f32> {
+            core: tk64.core.cast(),
+            factors: tk64
+                .factors
+                .iter()
+                .map(|u| Matrix::from_fn(u.rows(), u.cols(), |i, j| u[(i, j)] as f32))
+                .collect(),
+        };
+        let p = tmp("c.tkr");
+        write_tucker(&p, &tk).unwrap();
+        let back: TuckerTensor<f32> = read_tucker(&p).unwrap();
+        assert_eq!(back.core, tk.core);
+        std::fs::remove_file(p).ok();
+    }
+}

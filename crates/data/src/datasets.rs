@@ -1,0 +1,134 @@
+//! Surrogates for the paper's evaluation inputs.
+
+use crate::spectra::{geometric_profile, two_phase_profile};
+use crate::tensors::graded_tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tucker_linalg::{matrix_with_singular_values, Matrix, Scalar};
+use tucker_tensor::Tensor;
+
+/// The Fig. 1 matrix, verbatim: 80x80 with geometrically decaying singular
+/// values from `10⁰` to `10⁻¹⁸` and random singular vectors. Generated in
+/// `f64` and rounded, so both precisions factor the same matrix.
+pub fn fig1_matrix<T: Scalar>(seed: u64) -> Matrix<T> {
+    let sv = geometric_profile(80, 0.0, -18.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    matrix_with_singular_values::<T, _>(&sv, 80, &mut rng)
+}
+
+/// HCCI surrogate (original: `627x627x33x627` combustion simulation,
+/// modes = x, y, variable, time). Per-mode spectra modeled on Fig. 5:
+/// spatial modes decay ~10 orders, the 33-variable mode ~6, time ~8.
+///
+/// `dims` scales the mode sizes (e.g. `[80, 80, 33, 80]` for a laptop run);
+/// the decay *ranges* are kept, which is what determines where each
+/// (algorithm × precision) variant stops being able to compress (Tab. 2).
+pub fn hcci_surrogate<T: Scalar>(dims: &[usize], seed: u64) -> Tensor<T> {
+    assert_eq!(dims.len(), 4, "HCCI has 4 modes");
+    let profiles = vec![
+        geometric_profile(dims[0], 0.0, -10.0),
+        geometric_profile(dims[1], 0.0, -10.0),
+        geometric_profile(dims[2], 0.0, -6.0),
+        geometric_profile(dims[3], 0.0, -8.0),
+    ];
+    graded_tensor(dims, &profiles, seed)
+}
+
+/// SP (Stats-Planar) surrogate (original: `500x500x500x11x100` methane-air
+/// combustion, modes = x, y, z, variable, time). Per-mode spectra modeled on
+/// Fig. 6: very compressible, spatial decay ~12 orders.
+pub fn sp_surrogate<T: Scalar>(dims: &[usize], seed: u64) -> Tensor<T> {
+    assert_eq!(dims.len(), 5, "SP has 5 modes");
+    let profiles = vec![
+        geometric_profile(dims[0], 0.0, -12.0),
+        geometric_profile(dims[1], 0.0, -12.0),
+        geometric_profile(dims[2], 0.0, -12.0),
+        geometric_profile(dims[3], 0.0, -9.0),
+        geometric_profile(dims[4], 0.0, -10.0),
+    ];
+    graded_tensor(dims, &profiles, seed)
+}
+
+/// Video surrogate (original: `1080x1920x3x2200` frames, modes = height,
+/// width, color, time). Per-mode spectra modeled on Fig. 7: a fast two-order
+/// drop then a long flat tail — compressible only at loose tolerances.
+pub fn video_surrogate<T: Scalar>(dims: &[usize], seed: u64) -> Tensor<T> {
+    assert_eq!(dims.len(), 4, "Video has 4 modes");
+    let color = geometric_profile(dims[2], 0.0, -0.7); // 3 similar channels
+    // Knee/tail levels calibrated so that truncating to ~18% of each
+    // spatio-temporal mode leaves a relative error of ~0.2, as the paper
+    // reports for ranks 200x200x3x200 (570x compression, error 0.213).
+    let profiles = vec![
+        two_phase_profile(dims[0], 0.05, -1.1, -1.8),
+        two_phase_profile(dims[1], 0.05, -1.1, -1.8),
+        color,
+        two_phase_profile(dims[3], 0.05, -1.1, -1.7),
+    ];
+    graded_tensor(dims, &profiles, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tucker_linalg::svd::singular_values;
+    use tucker_tensor::Unfolding;
+
+    #[test]
+    fn fig1_matrix_has_prescribed_decay() {
+        let a = fig1_matrix::<f64>(1);
+        assert_eq!(a.shape(), (80, 80));
+        let s = singular_values(a.as_ref()).unwrap();
+        // Head exact; mid-range right order of magnitude.
+        assert!((s[0] - 1.0).abs() < 1e-10);
+        for k in [10usize, 40, 60] {
+            let want = -18.0 * k as f64 / 79.0;
+            assert!((s[k].log10() - want).abs() < 0.05, "σ_{k}");
+        }
+    }
+
+    #[test]
+    fn fig1_matrix_shared_across_precisions() {
+        let a = fig1_matrix::<f64>(7);
+        let b = fig1_matrix::<f32>(7);
+        for j in 0..80 {
+            for i in 0..80 {
+                assert!((a[(i, j)] as f32 - b[(i, j)]).abs() < 1e-12 + a[(i, j)].abs() as f32 * 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hcci_mode_spectra_ranges() {
+        let x = hcci_surrogate::<f64>(&[14, 14, 8, 12], 2);
+        assert_eq!(x.dims(), &[14, 14, 8, 12]);
+        // Spatial mode must span ≥ 7 orders of magnitude.
+        let s = singular_values(Unfolding::new(&x, 0).to_matrix().as_ref()).unwrap();
+        let span = (s[0] / s[12].max(1e-300)).log10();
+        assert!(span > 7.0, "span {span}");
+    }
+
+    #[test]
+    fn video_spectra_have_flat_tail() {
+        let x = video_surrogate::<f64>(&[20, 24, 3, 22], 3);
+        let s = singular_values(Unfolding::new(&x, 0).to_matrix().as_ref()).unwrap();
+        // Tail ratio small: last/5th less than two orders apart.
+        let ratio = (s[4] / s[19]).log10();
+        assert!(ratio < 2.0, "tail spans {ratio} orders — too steep for video");
+        // But the head does drop ~2 orders.
+        assert!((s[0] / s[4]).log10() > 1.0);
+    }
+
+    #[test]
+    fn sp_five_modes() {
+        let x = sp_surrogate::<f32>(&[10, 10, 10, 6, 8], 4);
+        assert_eq!(x.ndims(), 5);
+        assert!(x.norm() > 0.0);
+    }
+
+    #[test]
+    fn surrogates_are_deterministic() {
+        let a = hcci_surrogate::<f64>(&[8, 8, 5, 8], 9);
+        let b = hcci_surrogate::<f64>(&[8, 8, 5, 8], 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic workload generators for the reproduction experiments.
+//!
+//! The paper evaluates on three application datasets we cannot ship
+//! (terabyte combustion simulations and a video): **HCCI**
+//! (`627x627x33x627`), **SP** (`500x500x500x11x100`) and **Video**
+//! (`1080x1920x3x2200`). Per the substitution policy in DESIGN.md §2, this
+//! crate builds *surrogates*: tensors of the same mode structure (at reduced,
+//! configurable dimensions) whose per-mode singular value profiles are shaped
+//! to match the paper's Figs. 5–7 — which is the only property ST-HOSVD's
+//! accuracy/compression behaviour depends on.
+//!
+//! Also provided: the exact Fig. 1 matrix (80x80, geometric decay 10⁰→10⁻¹⁸,
+//! random singular vectors), exact-spectrum superdiagonal tensors for unit
+//! tests, and hash-noise for distributed pointwise generation of the
+//! scaling-experiment tensors.
+
+pub mod datasets;
+pub mod noise;
+pub mod spectra;
+pub mod tensors;
+
+pub use datasets::{fig1_matrix, hcci_surrogate, sp_surrogate, video_surrogate};
+pub use noise::hash_noise;
+pub use spectra::{geometric_profile, two_phase_profile};
+pub use tensors::{graded_tensor, superdiagonal_tensor};

@@ -1,0 +1,47 @@
+//! Deterministic hash noise for pointwise (distributed) tensor generation.
+//!
+//! The scaling experiments use "randomly generated synthetic tensors"
+//! (paper §4.3–4.4). In the distributed setting every rank generates only its
+//! own block, so the random value must be a pure function of the *global*
+//! index — a counter-based hash (SplitMix64) rather than a sequential RNG.
+
+/// Uniform value in `[-0.5, 0.5)` determined by `(seed, lin)`.
+pub fn hash_noise(seed: u64, lin: usize) -> f64 {
+    let mut z = seed ^ (lin as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_noise(1, 42), hash_noise(1, 42));
+        assert_ne!(hash_noise(1, 42), hash_noise(2, 42));
+        assert_ne!(hash_noise(1, 42), hash_noise(1, 43));
+    }
+
+    #[test]
+    fn range_and_mean() {
+        let n = 10_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let v = hash_noise(7, i);
+            assert!((-0.5..0.5).contains(&v));
+            sum += v;
+        }
+        assert!((sum / n as f64).abs() < 0.01, "mean {}", sum / n as f64);
+    }
+
+    #[test]
+    fn variance_is_uniformish() {
+        let n = 10_000;
+        let var: f64 = (0..n).map(|i| hash_noise(3, i).powi(2)).sum::<f64>() / n as f64;
+        // Uniform on [-1/2, 1/2): variance 1/12.
+        assert!((var - 1.0 / 12.0).abs() < 0.005, "var {var}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Singular value decay profiles.
+
+/// Geometric decay: `len` values log-linearly spaced from `10^from_log10`
+/// down to `10^to_log10` (the shape of the paper's Fig. 1 matrix and of the
+/// combustion datasets' per-mode spectra).
+pub fn geometric_profile(len: usize, from_log10: f64, to_log10: f64) -> Vec<f64> {
+    assert!(len > 0);
+    if len == 1 {
+        return vec![10f64.powf(from_log10)];
+    }
+    (0..len)
+        .map(|i| {
+            let t = i as f64 / (len - 1) as f64;
+            10f64.powf(from_log10 + t * (to_log10 - from_log10))
+        })
+        .collect()
+}
+
+/// Two-phase decay: a fast drop to `10^knee_log10` over the first
+/// `knee_frac` of the indices, then a slow decay to `10^tail_log10` — the
+/// video dataset's shape ("rapid decay of about 2 orders of magnitude ...
+/// then the singular values decay very slowly", paper §4.5.2 / Fig. 7).
+pub fn two_phase_profile(len: usize, knee_frac: f64, knee_log10: f64, tail_log10: f64) -> Vec<f64> {
+    assert!(len > 0);
+    assert!(knee_frac > 0.0 && knee_frac <= 1.0);
+    let knee = ((len as f64 * knee_frac).ceil() as usize).clamp(1, len);
+    let mut v = Vec::with_capacity(len);
+    for i in 0..len {
+        if i < knee {
+            let t = if knee == 1 { 1.0 } else { i as f64 / (knee - 1) as f64 };
+            v.push(10f64.powf(t * knee_log10));
+        } else {
+            let t = (i - knee + 1) as f64 / (len - knee) as f64;
+            v.push(10f64.powf(knee_log10 + t * (tail_log10 - knee_log10)));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_endpoints() {
+        let p = geometric_profile(10, 0.0, -9.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!((p[9] - 1e-9).abs() < 1e-21);
+        // Strictly decreasing.
+        for i in 1..10 {
+            assert!(p[i] < p[i - 1]);
+        }
+    }
+
+    #[test]
+    fn geometric_is_log_linear() {
+        let p = geometric_profile(5, 0.0, -4.0);
+        for (i, v) in p.iter().enumerate() {
+            assert!((v.log10() + i as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_value_profile() {
+        assert_eq!(geometric_profile(1, -2.0, -20.0), vec![0.01]);
+    }
+
+    #[test]
+    fn two_phase_shape() {
+        let p = two_phase_profile(100, 0.05, -2.0, -2.7);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        // Knee at index 5: already down two orders.
+        assert!(p[5] < 1.5e-2);
+        // Tail decays slowly: last value ≈ 10^-2.7.
+        assert!((p[99].log10() + 2.7).abs() < 0.05);
+        // Monotone nonincreasing.
+        for i in 1..100 {
+            assert!(p[i] <= p[i - 1] * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn two_phase_tiny_lengths() {
+        let p = two_phase_profile(2, 0.5, -1.0, -2.0);
+        assert_eq!(p.len(), 2);
+        assert!(p[1] < p[0]);
+    }
+}

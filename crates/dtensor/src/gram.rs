@@ -1,0 +1,170 @@
+//! Parallel Gram matrix of a tensor unfolding — TuckerMPI's kernel for the
+//! Gram-SVD path ([6, Alg. 4], paper §2.3 and §3.5 eq. 11).
+//!
+//! Cost per rank: `γ · J_n·J*/P*` flops for the local `syrk`, plus the fiber
+//! redistribution (`β·J*/P*`, `α·P_n`) and a world all-reduce of the `J_n²`
+//! Gram matrix.
+
+use crate::dist::DistTensor;
+use crate::redistribute::redistribute_to_columns;
+use tucker_linalg::mixed::syrk_lower_f64_acc;
+use tucker_linalg::{syrk_lower, Matrix, Scalar};
+use tucker_mpisim::{Comm, Ctx};
+use tucker_tensor::Unfolding;
+
+/// Gram matrix `G = X_(n) X_(n)ᵀ` of the mode-`n` unfolding of a distributed
+/// tensor, returned redundantly (identically) on every rank.
+pub fn parallel_gram<T: Scalar>(
+    ctx: &mut Ctx,
+    world: &mut Comm,
+    dt: &DistTensor<T>,
+    n: usize,
+) -> Matrix<T> {
+    let m = dt.global_dims()[n];
+    let p_n = dt.grid().dims()[n];
+
+    let local_g = if p_n == 1 {
+        // Mode-n fiber is a single rank: the local unfolding already has all
+        // J_n rows; accumulate syrk over its natural row-major blocks.
+        let unf = Unfolding::new(dt.local(), n);
+        ctx.charge_syrk_flops(m as f64 * m as f64 * unf.cols() as f64, T::BYTES);
+        let mut acc = Matrix::<T>::zeros(m, m);
+        for blk in unf.blocks() {
+            let g = syrk_lower(blk);
+            for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                *a += *b;
+            }
+        }
+        acc
+    } else {
+        let z = ctx.phase("Redistribute", |c| redistribute_to_columns(c, dt, n));
+        ctx.charge_syrk_flops(m as f64 * m as f64 * z.cols() as f64, T::BYTES);
+        syrk_lower(z.as_ref())
+    };
+
+    let summed = world.allreduce_sum_vec(ctx, local_g.into_data());
+    Matrix::from_col_major(m, m, summed)
+}
+
+/// Mixed-precision parallel Gram (the paper's §5 future work): the local
+/// `syrk` accumulates in `f64` over `T`-precision data and the all-reduce
+/// carries the `f64` Gram matrix. Data movement during redistribution stays
+/// at `T` width; only the small `J_n²` reduction pays double width.
+pub fn parallel_gram_mixed<T: Scalar>(
+    ctx: &mut Ctx,
+    world: &mut Comm,
+    dt: &DistTensor<T>,
+    n: usize,
+) -> Matrix<f64> {
+    let m = dt.global_dims()[n];
+    let p_n = dt.grid().dims()[n];
+
+    let local_g = if p_n == 1 {
+        let unf = Unfolding::new(dt.local(), n);
+        // f64 arithmetic on the accumulate path.
+        ctx.charge_syrk_flops(m as f64 * m as f64 * unf.cols() as f64, 8);
+        let mut acc = Matrix::<f64>::zeros(m, m);
+        for blk in unf.blocks() {
+            let g = syrk_lower_f64_acc(blk);
+            for (a, b) in acc.data_mut().iter_mut().zip(g.data()) {
+                *a += *b;
+            }
+        }
+        acc
+    } else {
+        let z = ctx.phase("Redistribute", |c| redistribute_to_columns(c, dt, n));
+        ctx.charge_syrk_flops(m as f64 * m as f64 * z.cols() as f64, 8);
+        syrk_lower_f64_acc(z.as_ref())
+    };
+
+    let summed = world.allreduce_sum_vec(ctx, local_g.into_data());
+    Matrix::from_col_major(m, m, summed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcessorGrid;
+    use tucker_mpisim::{CostModel, Simulator};
+    use tucker_tensor::Tensor;
+
+    fn test_tensor(dims: &[usize]) -> Tensor<f64> {
+        Tensor::from_fn(dims, |i| {
+            let mut v = 0.7;
+            for (k, &x) in i.iter().enumerate() {
+                v += ((x + 2) * (k + 1)) as f64 * 0.13;
+            }
+            v.cos()
+        })
+    }
+
+    fn check(dims: &[usize], grid_dims: &[usize], n: usize) {
+        let x = test_tensor(dims);
+        let p: usize = grid_dims.iter().product();
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(grid_dims), ctx.rank());
+            let mut world = Comm::world(ctx);
+            parallel_gram(ctx, &mut world, &dt, n)
+        });
+        let want = syrk_lower(Unfolding::new(&x, n).to_matrix().as_ref());
+        for g in out.results {
+            assert!(g.max_abs_diff(&want) < 1e-11, "mode {n} grid {grid_dims:?}");
+        }
+    }
+
+    #[test]
+    fn all_modes_mixed_grid() {
+        for n in 0..3 {
+            check(&[4, 5, 6], &[2, 1, 2], n);
+        }
+    }
+
+    #[test]
+    fn fiber_of_one_everywhere() {
+        // Sequential degenerate case: 1 rank.
+        check(&[3, 4, 5], &[1, 1, 1], 1);
+    }
+
+    #[test]
+    fn distributed_mode_with_uneven_rows() {
+        check(&[7, 4, 3], &[4, 1, 1], 0);
+    }
+
+    #[test]
+    fn four_mode_tensor() {
+        for n in 0..4 {
+            check(&[3, 4, 2, 5], &[2, 1, 1, 2], n);
+        }
+    }
+
+    #[test]
+    fn single_precision_gram() {
+        let dims = [4, 5, 3];
+        let x64 = test_tensor(&dims);
+        let x32: Tensor<f32> = x64.cast();
+        let out = Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x32, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
+            let mut world = Comm::world(ctx);
+            parallel_gram(ctx, &mut world, &dt, 0)
+        });
+        let want = syrk_lower(Unfolding::new(&x32, 0).to_matrix().as_ref());
+        for g in out.results {
+            assert!(g.max_abs_diff(&want) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn flops_are_charged() {
+        let dims = [4, 4, 4];
+        let x = test_tensor(&dims);
+        let out = Simulator::new(2).with_cost(CostModel::andes()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
+            let mut world = Comm::world(ctx);
+            let _ = parallel_gram(ctx, &mut world, &dt, 0);
+        });
+        // Each rank's syrk charge: m*m*local_cols = 4*4*8 = 128 (plus reduce adds).
+        for s in &out.stats {
+            assert!(s.total.flops >= 128.0, "flops = {}", s.total.flops);
+        }
+    }
+}

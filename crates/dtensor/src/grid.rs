@@ -1,0 +1,129 @@
+//! N-dimensional processor grids.
+//!
+//! Ranks are linearized first-mode-fastest, mirroring the tensor layout:
+//! `rank = p_0 + P_0·(p_1 + P_1·(p_2 + ...))`. A mode-`n` *fiber* is the set
+//! of ranks that agree on every coordinate except `p_n`; redistribution and
+//! the TTM reduce-scatter operate within fibers.
+
+/// Shape and indexing of a processor grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessorGrid {
+    dims: Vec<usize>,
+}
+
+impl ProcessorGrid {
+    /// Grid with the given per-mode processor counts (all ≥ 1).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d >= 1), "bad grid dims");
+        ProcessorGrid { dims: dims.to_vec() }
+    }
+
+    /// Per-mode processor counts.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of modes.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total rank count `P`.
+    pub fn total(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Coordinates of a rank.
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        assert!(rank < self.total(), "rank out of range");
+        let mut r = rank;
+        self.dims
+            .iter()
+            .map(|&d| {
+                let c = r % d;
+                r /= d;
+                c
+            })
+            .collect()
+    }
+
+    /// Rank of a coordinate tuple.
+    pub fn rank(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len());
+        let mut rank = 0;
+        let mut stride = 1;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            debug_assert!(c < d);
+            rank += c * stride;
+            stride *= d;
+        }
+        rank
+    }
+
+    /// World ranks of the mode-`n` fiber through `coords`, ordered by `p_n`.
+    pub fn fiber(&self, coords: &[usize], n: usize) -> Vec<usize> {
+        assert!(n < self.ndims());
+        let mut c = coords.to_vec();
+        (0..self.dims[n])
+            .map(|p| {
+                c[n] = p;
+                self.rank(&c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let g = ProcessorGrid::new(&[2, 3, 2]);
+        assert_eq!(g.total(), 12);
+        for r in 0..12 {
+            assert_eq!(g.rank(&g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn first_mode_fastest_linearization() {
+        let g = ProcessorGrid::new(&[2, 3]);
+        assert_eq!(g.coords(0), vec![0, 0]);
+        assert_eq!(g.coords(1), vec![1, 0]);
+        assert_eq!(g.coords(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn fibers_partition_the_grid() {
+        let g = ProcessorGrid::new(&[2, 2, 3]);
+        // Mode-2 fibers: 4 fibers of 3 ranks each, disjoint, covering all.
+        let mut seen = vec![false; 12];
+        for a in 0..2 {
+            for b in 0..2 {
+                let f = g.fiber(&[a, b, 0], 2);
+                assert_eq!(f.len(), 3);
+                for r in f {
+                    assert!(!seen[r]);
+                    seen[r] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fiber_is_ordered_by_mode_coordinate() {
+        let g = ProcessorGrid::new(&[2, 3]);
+        let f = g.fiber(&[1, 2], 1);
+        // coords (1,0), (1,1), (1,2) → ranks 1, 3, 5
+        assert_eq!(f, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn trivial_grid() {
+        let g = ProcessorGrid::new(&[1, 1, 1]);
+        assert_eq!(g.total(), 1);
+        assert_eq!(g.fiber(&[0, 0, 0], 1), vec![0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Fiber redistribution: bring the mode-`n` unfolding into 1D column
+//! distribution (paper Alg. 3 line 7, reusing the scheme of [6, Alg. 4]).
+//!
+//! Within a mode-`n` processor fiber the `P_n` ranks share the same index
+//! ranges in every other mode and partition mode `n`: collectively they own
+//! all `J_n` rows of a `J_n x C_f` slab of the unfolding, each holding a
+//! *row* stripe. One personalized all-to-all per fiber converts this to a
+//! *column* stripe per rank — after which the whole unfolding is 1D
+//! column-distributed across all `P` ranks (up to the column permutation
+//! that left singular vectors are invariant to, §3.4).
+
+use crate::dist::{block_range, DistTensor};
+use tucker_linalg::{Matrix, Scalar};
+use tucker_mpisim::{Comm, Ctx};
+use tucker_tensor::Unfolding;
+
+/// Redistribute the mode-`n` unfolding within this rank's fiber, returning
+/// this rank's column stripe as a column-major `J_n x c` matrix.
+///
+/// Requires `P_n > 1` callers to make communication meaningful, but is
+/// correct (a local repack) for `P_n == 1` as well.
+pub fn redistribute_to_columns<T: Scalar>(
+    ctx: &mut Ctx,
+    dt: &DistTensor<T>,
+    n: usize,
+) -> Matrix<T> {
+    let grid = dt.grid();
+    let p_n = grid.dims()[n];
+    let j_n = dt.global_dims()[n];
+    let unf = Unfolding::new(dt.local(), n);
+    let b_n = unf.rows();
+    let c_f = unf.cols();
+
+    if p_n == 1 {
+        // Single-rank fiber: just repack to column-major.
+        return unf.to_matrix();
+    }
+
+    let fiber = grid.fiber(dt.coords(), n);
+    let my_q = dt.coords()[n];
+    let mut comm = Comm::subset(ctx, fiber);
+
+    // Pack one column-major bucket per destination fiber rank.
+    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p_n);
+    for q in 0..p_n {
+        let cols = block_range(c_f, p_n, q);
+        let mut buf = Vec::with_capacity(b_n * cols.len());
+        for c in cols {
+            for i in 0..b_n {
+                buf.push(unf.get(i, c));
+            }
+        }
+        sends.push(buf);
+    }
+    let received = comm.alltoallv(ctx, sends);
+
+    // Assemble my column stripe: all J_n rows of my column chunk.
+    let my_cols = block_range(c_f, p_n, my_q).len();
+    let mut z = Matrix::<T>::zeros(j_n, my_cols);
+    for (q, buf) in received.into_iter().enumerate() {
+        let rows = block_range(j_n, p_n, q);
+        let bq = rows.len();
+        assert_eq!(buf.len(), bq * my_cols, "redistribute: unexpected bucket size");
+        for c in 0..my_cols {
+            let col = z.col_mut(c);
+            col[rows.start..rows.end].copy_from_slice(&buf[c * bq..(c + 1) * bq]);
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcessorGrid;
+    use tucker_linalg::syrk_lower;
+    use tucker_mpisim::{CostModel, Simulator};
+    use tucker_tensor::Tensor;
+
+    fn test_tensor(dims: &[usize]) -> Tensor<f64> {
+        Tensor::from_fn(dims, |i| {
+            let mut v = 0.3;
+            for (k, &x) in i.iter().enumerate() {
+                v += ((x + 1) * (k + 3)) as f64 * 0.11;
+            }
+            v.sin()
+        })
+    }
+
+    /// Σ_r Z_r Z_rᵀ must equal the Gram matrix of the global unfolding —
+    /// the column-permutation-invariant correctness check.
+    fn check_redistribution(dims: &[usize], grid_dims: &[usize], n: usize) {
+        let x = test_tensor(dims);
+        let grid = ProcessorGrid::new(grid_dims);
+        let p = grid.total();
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(grid_dims), ctx.rank());
+            let z = redistribute_to_columns(ctx, &dt, n);
+            let g = syrk_lower(z.as_ref());
+            let mut world = Comm::world(ctx);
+            let summed = world.allreduce_sum_vec(ctx, g.into_data());
+            (z.cols(), summed)
+        });
+        // Reference Gram of the global unfolding.
+        let gu = Unfolding::new(&x, n).to_matrix();
+        let want = syrk_lower(gu.as_ref());
+        let m = dims[n];
+        let total_cols: usize = out.results.iter().map(|(c, _)| c).sum::<usize>();
+        // Column counts must tile the unfolding... per fiber; every rank holds
+        // a chunk of its fiber's columns, so the total equals the unfolding
+        // column count (each column owned exactly once).
+        assert_eq!(total_cols, gu.cols(), "columns not partitioned");
+        for (_, g) in out.results {
+            let gm = tucker_linalg::Matrix::from_col_major(m, m, g);
+            assert!(gm.max_abs_diff(&want) < 1e-11, "Gram mismatch mode {n}");
+        }
+    }
+
+    #[test]
+    fn three_mode_middle() {
+        check_redistribution(&[4, 6, 5], &[2, 3, 1], 1);
+    }
+
+    #[test]
+    fn three_mode_first() {
+        check_redistribution(&[6, 4, 5], &[3, 2, 1], 0);
+    }
+
+    #[test]
+    fn three_mode_last() {
+        check_redistribution(&[4, 3, 8], &[1, 2, 4], 2);
+    }
+
+    #[test]
+    fn uneven_division_both_axes() {
+        check_redistribution(&[7, 5, 3], &[3, 2, 1], 0);
+        check_redistribution(&[7, 5, 3], &[3, 2, 1], 1);
+    }
+
+    #[test]
+    fn trivial_fiber_is_local_repack() {
+        check_redistribution(&[4, 5, 6], &[1, 2, 2], 0);
+    }
+
+    #[test]
+    fn four_mode() {
+        check_redistribution(&[3, 4, 3, 4], &[2, 1, 2, 2], 3);
+    }
+}

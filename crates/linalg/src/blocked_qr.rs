@@ -1,0 +1,230 @@
+//! Blocked Householder QR/LQ via the compact WY representation
+//! (`H_0 H_1 ··· H_{k-1} = I − V·T·Vᵀ`, LAPACK `larft`/`larfb`).
+//!
+//! The unblocked factorization applies each reflector with matrix-vector
+//! work (low arithmetic intensity). Blocking rebuilds the trailing update
+//! from three GEMMs — what MKL's `geqr`/`gelq` drivers do internally on the
+//! paper's machines — and pays off for *tall-dense* factorizations with many
+//! columns. For the short-fat unfoldings of ST-HOSVD (`m ≤` a few hundred,
+//! so only a handful of panels) the measured result is the opposite: the
+//! layout-aware unblocked kernel wins (see the `kernels` bench,
+//! `gelqf` vs `gelqf_blocked`), which is why the ST-HOSVD drivers keep the
+//! unblocked path. This mirrors the paper's §4.2.1 observation that the
+//! TSQR-based LAPACK subroutines were not consistently faster than the
+//! drivers either.
+
+use crate::gemm::{gemm_into, Trans};
+use crate::matrix::Matrix;
+use crate::qr::geqrf;
+use crate::scalar::Scalar;
+use crate::view::MatMut;
+
+/// Default panel width.
+pub const DEFAULT_BLOCK: usize = 32;
+
+/// Blocked in-place Householder QR. Identical output convention to
+/// [`crate::qr::geqrf`] (R in the upper triangle, reflector tails below,
+/// `tau`s returned); trailing updates are performed as GEMMs.
+pub fn geqrf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    assert!(nb >= 1);
+    let mut taus = vec![T::ZERO; k];
+    let mut j = 0;
+    while j < k {
+        let jb = nb.min(k - j);
+        // Factor the panel A[j.., j..j+jb] unblocked.
+        let ptaus = {
+            let mut panel = a.submatrix_mut(j, j, m - j, jb);
+            geqrf(&mut panel)
+        };
+        taus[j..j + jb].copy_from_slice(&ptaus);
+
+        if j + jb < n {
+            let pm = m - j;
+            // Explicit unit-lower-trapezoidal V from the panel.
+            let mut v = Matrix::<T>::zeros(pm, jb);
+            {
+                let pv = a.rb();
+                let panel = pv.submatrix(j, j, pm, jb);
+                for c in 0..jb {
+                    v[(c, c)] = T::ONE;
+                    for r in c + 1..pm {
+                        v[(r, c)] = panel.get(r, c);
+                    }
+                }
+            }
+            let t = larft(&v, &ptaus);
+            // Trailing update: C ← (I − V·T·Vᵀ)ᵀ C = C − V·Tᵀ·(Vᵀ C).
+            let nc = n - j - jb;
+            let w = {
+                let cview = a.rb();
+                let c = cview.submatrix(j, j + jb, pm, nc);
+                gemm_into(v.as_ref(), Trans::Yes, c, Trans::No) // jb x nc
+            };
+            let tw = gemm_into(t.as_ref(), Trans::Yes, w.as_ref(), Trans::No); // jb x nc
+            let vtw = gemm_into(v.as_ref(), Trans::No, tw.as_ref(), Trans::No); // pm x nc
+            let mut c = a.submatrix_mut(j, j + jb, pm, nc);
+            for jj in 0..nc {
+                for ii in 0..pm {
+                    c.update(ii, jj, |x| x - vtw[(ii, jj)]);
+                }
+            }
+        }
+        j += jb;
+    }
+    taus
+}
+
+/// Blocked in-place Householder LQ (blocked QR of the transposed view).
+pub fn gelqf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
+    let mut at = a.t_mut();
+    geqrf_blocked(&mut at, nb)
+}
+
+/// Form the upper-triangular `T` of the compact WY representation
+/// (LAPACK `larft`, forward columnwise): `H_0···H_{k-1} = I − V·T·Vᵀ`.
+fn larft<T: Scalar>(v: &Matrix<T>, taus: &[T]) -> Matrix<T> {
+    let k = taus.len();
+    let m = v.rows();
+    let mut t = Matrix::<T>::zeros(k, k);
+    for i in 0..k {
+        let tau = taus[i];
+        t[(i, i)] = tau;
+        if i == 0 || tau == T::ZERO {
+            continue;
+        }
+        // w = V[:, 0..i]ᵀ v_i
+        let mut w = vec![T::ZERO; i];
+        for c in 0..i {
+            let mut acc = T::ZERO;
+            let vc = v.col(c);
+            let vi = v.col(i);
+            for r in 0..m {
+                acc += vc[r] * vi[r];
+            }
+            w[c] = acc;
+        }
+        // T[0..i, i] = −tau · T[0..i, 0..i] · w  (T upper triangular).
+        for r in 0..i {
+            let mut acc = T::ZERO;
+            for c in r..i {
+                acc += t[(r, c)] * w[c];
+            }
+            t[(r, i)] = -tau * acc;
+        }
+    }
+    t
+}
+
+/// Convenience: blocked LQ factor `L` (zero-padded square), matching
+/// [`crate::lq::lq_factor`].
+pub fn lq_factor_blocked<T: Scalar>(a: crate::view::MatRef<'_, T>, nb: usize) -> Matrix<T> {
+    let mut work = a.to_matrix();
+    gelqf_blocked(&mut work.as_mut(), nb);
+    crate::lq::lq_l_padded(work.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lq::lq_factor;
+    use crate::qr::{form_q, qr_r};
+    use crate::syrk::syrk_lower;
+    use crate::view::MatRef;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    fn check_qr(a: &Matrix<f64>, nb: usize) {
+        let mut work = a.clone();
+        let taus = geqrf_blocked(&mut work.as_mut(), nb);
+        let q = form_q(work.as_ref(), &taus, a.rows().min(a.cols()));
+        let r = qr_r(work.as_ref());
+        assert!(q.orthonormality_error() < 1e-12, "Q not orthonormal (nb={nb})");
+        let prod = crate::gemm::matmul(&q, &r);
+        assert!(prod.max_abs_diff(a) < 1e-11 * a.max_abs().max(1.0), "A != QR (nb={nb})");
+    }
+
+    #[test]
+    fn tall_various_block_sizes() {
+        let a = pseudo(60, 20, 1);
+        for nb in [1, 3, 8, 20, 64] {
+            check_qr(&a, nb);
+        }
+    }
+
+    #[test]
+    fn wide_matrix() {
+        check_qr(&pseudo(10, 50, 2), 4);
+    }
+
+    #[test]
+    fn square_matrix() {
+        check_qr(&pseudo(33, 33, 3), 8);
+    }
+
+    #[test]
+    fn panel_not_dividing_k() {
+        check_qr(&pseudo(25, 17, 4), 5);
+    }
+
+    #[test]
+    fn matches_unblocked_r_up_to_roundoff() {
+        let a = pseudo(40, 16, 5);
+        let mut w1 = a.clone();
+        let t1 = crate::qr::geqrf(&mut w1.as_mut());
+        let mut w2 = a.clone();
+        let t2 = geqrf_blocked(&mut w2.as_mut(), 6);
+        let r1 = qr_r(w1.as_ref());
+        let r2 = qr_r(w2.as_ref());
+        assert!(r1.max_abs_diff(&r2) < 1e-12, "R differs");
+        for (x, y) in t1.iter().zip(&t2) {
+            assert!((x - y).abs() < 1e-12, "taus differ");
+        }
+    }
+
+    #[test]
+    fn blocked_lq_gram_invariant() {
+        let a = pseudo(24, 200, 6);
+        let l = lq_factor_blocked(a.as_ref(), 8);
+        let unblocked = lq_factor(a.as_ref());
+        assert!(l.max_abs_diff(&unblocked) < 1e-11);
+        let llt = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+        let aat = syrk_lower(a.as_ref());
+        assert!(llt.max_abs_diff(&aat) < 1e-10 * aat.max_abs());
+    }
+
+    #[test]
+    fn row_major_view_input() {
+        let data: Vec<f64> = (0..36 * 12).map(|x| ((x as f64) * 0.17).sin()).collect();
+        let a = MatRef::row_major(&data, 12, 36);
+        let l = lq_factor_blocked(a, 4);
+        let llt = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+        let aat = syrk_lower(a);
+        assert!(llt.max_abs_diff(&aat) < 1e-11);
+    }
+
+    #[test]
+    fn single_precision() {
+        let a64 = pseudo(30, 10, 7);
+        let a = Matrix::<f32>::from_fn(30, 10, |i, j| a64[(i, j)] as f32);
+        let mut w = a.clone();
+        let taus = geqrf_blocked(&mut w.as_mut(), 4);
+        let q = form_q(w.as_ref(), &taus, 10);
+        assert!(q.orthonormality_error() < 1e-5);
+    }
+
+    #[test]
+    fn gemm_helper_sanity() {
+        let i = Matrix::<f64>::identity(3);
+        let out = gemm_into(i.as_ref(), Trans::No, i.as_ref(), Trans::No);
+        assert!(out.max_abs_diff(&i) < 1e-15);
+    }
+}

@@ -1,0 +1,347 @@
+//! Symmetric eigensolver: Householder tridiagonalization followed by the
+//! implicit-shift QL iteration, with eigenvector accumulation (the `syev`
+//! equivalent used by TuckerMPI's Gram-SVD).
+//!
+//! Gram-SVD squares the condition number: eigenvalues of `A·Aᵀ` below
+//! `ε‖A‖²` carry no relative information, which is why computed singular
+//! values below `‖A‖·√ε` are noise on this path (Theorem 2). The solver
+//! itself is standard and backward stable *for the Gram matrix* — the
+//! accuracy loss happens when the Gram matrix is formed, not here.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Maximum QL sweeps per eigenvalue.
+const MAX_SWEEPS: usize = 60;
+
+/// Eigendecomposition result: `A = Z · diag(values) · Zᵀ`.
+pub struct EigOutput<T> {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<T>,
+    /// Orthonormal eigenvectors, one per column, matching `values`.
+    pub vectors: Matrix<T>,
+}
+
+/// Eigendecomposition of a symmetric matrix (the full matrix is read; no
+/// triangle convention). Returns values ascending with matching vectors.
+pub fn syev<T: Scalar>(a: &Matrix<T>) -> Result<EigOutput<T>> {
+    let n = a.rows();
+    if n != a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "syev",
+            details: format!("{}x{} is not square", a.rows(), a.cols()),
+        });
+    }
+    if n == 0 {
+        return Ok(EigOutput { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+    let mut z = a.clone();
+    let mut d = vec![T::ZERO; n];
+    let mut e = vec![T::ZERO; n];
+    tred2(&mut z, &mut d, &mut e);
+    tql2(&mut d, &mut e, &mut z)?;
+    sort_ascending(&mut d, &mut z);
+    Ok(EigOutput { values: d, vectors: z })
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form,
+/// accumulating the orthogonal transformation in place (EISPACK `tred2`).
+fn tred2<T: Scalar>(a: &mut Matrix<T>, d: &mut [T], e: &mut [T]) {
+    let n = a.rows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = T::ZERO;
+        if l > 0 {
+            let mut scale = T::ZERO;
+            for k in 0..=l {
+                scale += a[(i, k)].abs();
+            }
+            if scale == T::ZERO {
+                e[i] = a[(i, l)];
+            } else {
+                for k in 0..=l {
+                    let v = a[(i, k)] / scale;
+                    a[(i, k)] = v;
+                    h += v * v;
+                }
+                let f = a[(i, l)];
+                let g = -h.sqrt().copysign(f);
+                e[i] = scale * g;
+                h -= f * g;
+                a[(i, l)] = f - g;
+                let mut fsum = T::ZERO;
+                for j in 0..=l {
+                    a[(j, i)] = a[(i, j)] / h;
+                    let mut g = T::ZERO;
+                    for k in 0..=j {
+                        g += a[(j, k)] * a[(i, k)];
+                    }
+                    for k in j + 1..=l {
+                        g += a[(k, j)] * a[(i, k)];
+                    }
+                    e[j] = g / h;
+                    fsum += e[j] * a[(i, j)];
+                }
+                let hh = fsum / (h + h);
+                for j in 0..=l {
+                    let f = a[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * a[(i, k)];
+                        a[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = a[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = T::ZERO;
+    e[0] = T::ZERO;
+    for i in 0..n {
+        if d[i] != T::ZERO {
+            for j in 0..i {
+                let mut g = T::ZERO;
+                for k in 0..i {
+                    g += a[(i, k)] * a[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * a[(k, i)];
+                    a[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = a[(i, i)];
+        a[(i, i)] = T::ONE;
+        for j in 0..i {
+            a[(j, i)] = T::ZERO;
+            a[(i, j)] = T::ZERO;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix with
+/// eigenvector accumulation (EISPACK `tql2` / NR `tqli`).
+fn tql2<T: Scalar>(d: &mut [T], e: &mut [T], z: &mut Matrix<T>) -> Result<()> {
+    let n = d.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = T::ZERO;
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Look for a negligible off-diagonal to split at.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= T::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence { op: "tql2", index: l, iterations: iter });
+            }
+            let mut g = (d[l + 1] - d[l]) / (T::TWO * e[l]);
+            let mut r = g.hypot(T::ONE);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let mut s = T::ONE;
+            let mut c = T::ONE;
+            let mut p = T::ZERO;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == T::ZERO {
+                    d[i + 1] -= p;
+                    e[m] = T::ZERO;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + T::TWO * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector columns.
+                let rows = z.rows();
+                let data = z.data_mut();
+                let (ci_ptr, cip1_ptr) = {
+                    let (head, tail) = data.split_at_mut((i + 1) * rows);
+                    (&mut head[i * rows..(i + 1) * rows], &mut tail[..rows])
+                };
+                for k in 0..rows {
+                    f = cip1_ptr[k];
+                    cip1_ptr[k] = s * ci_ptr[k] + c * f;
+                    ci_ptr[k] = c * ci_ptr[k] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = T::ZERO;
+        }
+    }
+    Ok(())
+}
+
+/// Sort eigenvalues ascending, permuting eigenvector columns consistently.
+fn sort_ascending<T: Scalar>(d: &mut [T], z: &mut Matrix<T>) {
+    let n = d.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let sorted: Vec<T> = order.iter().map(|&i| d[i]).collect();
+    d.copy_from_slice(&sorted);
+    let src = z.clone();
+    for (dst, &s) in order.iter().enumerate() {
+        z.col_mut(dst).copy_from_slice(src.col(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_into, matmul, Trans};
+
+    fn pseudo_symmetric(n: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let raw = Matrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        // Symmetrize.
+        Matrix::from_fn(n, n, |i, j| 0.5 * (raw[(i, j)] + raw[(j, i)]))
+    }
+
+    fn check(a: &Matrix<f64>, tol: f64) {
+        let out = syev(a).unwrap();
+        let z = &out.vectors;
+        assert!(z.orthonormality_error() < tol, "Z not orthonormal");
+        // Ascending.
+        for i in 1..out.values.len() {
+            assert!(out.values[i - 1] <= out.values[i]);
+        }
+        // A Z = Z Λ.
+        let az = matmul(a, z);
+        let mut zl = z.clone();
+        for j in 0..z.cols() {
+            let lj = out.values[j];
+            for v in zl.col_mut(j) {
+                *v *= lj;
+            }
+        }
+        assert!(az.max_abs_diff(&zl) < tol * a.max_abs().max(1.0), "A Z != Z Λ");
+    }
+
+    #[test]
+    fn random_symmetric() {
+        check(&pseudo_symmetric(10, 1), 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut a = Matrix::<f64>::zeros(5, 5);
+        for (i, &v) in [3.0, -1.0, 0.0, 7.0, 2.0].iter().enumerate() {
+            a[(i, i)] = v;
+        }
+        let out = syev(&a).unwrap();
+        assert_eq!(out.values, vec![-1.0, 0.0, 2.0, 3.0, 7.0]);
+        check(&a, 1e-13);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_row_major(2, 2, &[2.0f64, 1.0, 1.0, 2.0]);
+        let out = syev(&a).unwrap();
+        assert!((out.values[0] - 1.0).abs() < 1e-14);
+        assert!((out.values[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gram_matrix_eigenvalues_are_squared_singular_values() {
+        let b = pseudo_symmetric(6, 2);
+        let g = gemm_into(b.as_ref(), Trans::No, b.as_ref(), Trans::Yes);
+        let out = syev(&g).unwrap();
+        let s = crate::svd::singular_values(b.as_ref()).unwrap();
+        let mut lam: Vec<f64> = out.values.clone();
+        lam.reverse();
+        for i in 0..6 {
+            assert!((lam[i].max(0.0).sqrt() - s[i]).abs() < 1e-10 * s[0].max(1.0));
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix() {
+        // Eigenvalues of opposite signs.
+        let a = Matrix::from_row_major(2, 2, &[0.0f64, 5.0, 5.0, 0.0]);
+        let out = syev(&a).unwrap();
+        assert!((out.values[0] + 5.0).abs() < 1e-13);
+        assert!((out.values[1] - 5.0).abs() < 1e-13);
+        check(&a, 1e-13);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let a = Matrix::<f64>::identity(6);
+        let out = syev(&a).unwrap();
+        for v in out.values {
+            assert!((v - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_row_major(1, 1, &[-2.5f64]);
+        let out = syev(&a).unwrap();
+        assert_eq!(out.values, vec![-2.5]);
+        assert_eq!(out.vectors[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Matrix::<f64>::zeros(0, 0);
+        let out = syev(&a).unwrap();
+        assert!(out.values.is_empty());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(syev(&a).is_err());
+    }
+
+    #[test]
+    fn single_precision() {
+        let a64 = pseudo_symmetric(8, 3);
+        let a32 = Matrix::<f32>::from_fn(8, 8, |i, j| a64[(i, j)] as f32);
+        let out32 = syev(&a32).unwrap();
+        let out64 = syev(&a64).unwrap();
+        for i in 0..8 {
+            assert!((out32.values[i] as f64 - out64.values[i]).abs() < 1e-5);
+        }
+        assert!(out32.vectors.orthonormality_error() < 1e-5);
+    }
+
+    #[test]
+    fn large_matrix_converges() {
+        check(&pseudo_symmetric(60, 4), 1e-11);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared by all kernels in this crate.
+
+use std::fmt;
+
+/// Errors produced by the dense linear algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions for the requested operation.
+    DimensionMismatch {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+        /// Human-readable description of the offending shapes.
+        details: String,
+    },
+    /// An iterative eigenvalue/singular value solver failed to converge
+    /// within its sweep budget.
+    NoConvergence {
+        /// Name of the solver.
+        op: &'static str,
+        /// Index of the value that failed to converge.
+        index: usize,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The operation requires a non-empty matrix.
+    EmptyMatrix {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, details } => {
+                write!(f, "{op}: dimension mismatch: {details}")
+            }
+            LinalgError::NoConvergence { op, index, iterations } => {
+                write!(f, "{op}: no convergence at index {index} after {iterations} iterations")
+            }
+            LinalgError::EmptyMatrix { op } => write!(f, "{op}: empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = LinalgError::DimensionMismatch { op: "gemm", details: "2x3 * 4x5".into() };
+        assert!(e.to_string().contains("gemm"));
+        assert!(e.to_string().contains("2x3"));
+        let e = LinalgError::NoConvergence { op: "svd", index: 3, iterations: 75 };
+        assert!(e.to_string().contains("index 3"));
+        let e = LinalgError::EmptyMatrix { op: "syev" };
+        assert!(e.to_string().contains("syev"));
+    }
+}

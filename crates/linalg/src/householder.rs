@@ -1,0 +1,241 @@
+//! Householder reflector generation and application (LAPACK `larfg`/`larf`).
+//!
+//! These are the primitives behind every orthogonal factorization in this
+//! crate (QR, LQ, `tplqt`, bidiagonalization). The generation routine uses
+//! the cancellation-free sign choice and scale-safe norm, which is what makes
+//! the QR preprocessing step of QR-SVD backward stable — the property Theorem 1
+//! of the paper rests on.
+
+use crate::scalar::Scalar;
+use crate::view::MatMut;
+
+/// Scale-safe Euclidean norm of a slice.
+pub fn norm2<T: Scalar>(x: &[T]) -> T {
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for &v in x {
+        let av = v.abs();
+        if av > T::ZERO {
+            if scale < av {
+                let r = scale / av;
+                ssq = T::ONE + ssq * r * r;
+                scale = av;
+            } else {
+                let r = av / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Generate a Householder reflector `H = I - tau * v vᵀ` with `v = [1, x]`
+/// such that `H [alpha, x]ᵀ = [beta, 0]ᵀ`.
+///
+/// On return `x` holds the tail of `v` (the leading 1 is implicit) and the
+/// result is `(beta, tau)`. When `x` is already zero, `tau = 0` (H = I).
+pub fn make_reflector<T: Scalar>(alpha: T, x: &mut [T]) -> (T, T) {
+    let mut xnorm = norm2(x);
+    if xnorm == T::ZERO {
+        return (alpha, T::ZERO);
+    }
+    // beta gets the opposite sign of alpha so that alpha - beta is
+    // cancellation-free.
+    let mut alpha = alpha;
+    let mut beta = -alpha.hypot(xnorm).copysign(alpha);
+
+    // LAPACK larfg safeguard: if beta is subnormal-ish, 1/(alpha - beta)
+    // would overflow to infinity (and then poison the update with NaNs).
+    // Rescale the vector into the safe range first, undo at the end.
+    let safmin = T::MIN_POSITIVE / T::EPSILON;
+    let rsafmn = T::ONE / safmin;
+    let mut rescalings = 0usize;
+    while beta.abs() < safmin && rescalings < 32 {
+        for v in x.iter_mut() {
+            *v *= rsafmn;
+        }
+        alpha *= rsafmn;
+        xnorm = norm2(x);
+        beta = -alpha.hypot(xnorm).copysign(alpha);
+        rescalings += 1;
+    }
+
+    let tau = (beta - alpha) / beta;
+    let inv = T::ONE / (alpha - beta);
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+    for _ in 0..rescalings {
+        beta *= safmin;
+    }
+    (beta, tau)
+}
+
+/// Apply `H = I - tau v vᵀ` from the left to `C` (`C ← H·C`).
+///
+/// `v` has length `C.rows()` with `v[0]` assumed to be 1 (its stored value is
+/// ignored); callers pass the reflector tail with a leading placeholder.
+pub fn apply_reflector_left<T: Scalar>(v: &[T], tau: T, c: &mut MatMut<'_, T>) {
+    let m = c.rows();
+    let n = c.cols();
+    debug_assert_eq!(v.len(), m);
+    if tau == T::ZERO || m == 0 || n == 0 {
+        return;
+    }
+    if c.row_stride() == 1 {
+        // Column-contiguous: process each column as a slice.
+        let cs = c.col_stride();
+        let data = c.data_mut();
+        for j in 0..n {
+            let col = &mut data[j * cs..j * cs + m];
+            let mut w = col[0];
+            for i in 1..m {
+                w = v[i].mul_add(col[i], w);
+            }
+            let tw = tau * w;
+            col[0] -= tw;
+            for i in 1..m {
+                col[i] = (-tw).mul_add(v[i], col[i]);
+            }
+        }
+    } else if c.col_stride() == 1 {
+        // Row-contiguous: two row-wise passes through C.
+        let rs = c.row_stride();
+        let data = c.data_mut();
+        let mut w = vec![T::ZERO; n];
+        {
+            let row0 = &data[0..n];
+            w.copy_from_slice(row0);
+        }
+        for i in 1..m {
+            let vi = v[i];
+            if vi == T::ZERO {
+                continue;
+            }
+            let row = &data[i * rs..i * rs + n];
+            for j in 0..n {
+                w[j] = vi.mul_add(row[j], w[j]);
+            }
+        }
+        for i in 0..m {
+            let vi = if i == 0 { T::ONE } else { v[i] };
+            if vi == T::ZERO {
+                continue;
+            }
+            let tv = tau * vi;
+            let row = &mut data[i * rs..i * rs + n];
+            for j in 0..n {
+                row[j] = (-tv).mul_add(w[j], row[j]);
+            }
+        }
+    } else {
+        // Fully strided fallback.
+        for j in 0..n {
+            let mut w = c.get(0, j);
+            for i in 1..m {
+                w += v[i] * c.get(i, j);
+            }
+            let tw = tau * w;
+            c.update(0, j, |x| x - tw);
+            for i in 1..m {
+                let vi = v[i];
+                c.update(i, j, |x| x - tw * vi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn reflector_annihilates_vector() {
+        let alpha = 3.0f64;
+        let mut x = vec![1.0, 2.0, 2.0];
+        let (beta, tau) = make_reflector(alpha, &mut x);
+        // [alpha, x] had norm sqrt(9+1+4+4) = sqrt(18)
+        assert!((beta.abs() - 18.0f64.sqrt()).abs() < 1e-14);
+        assert!(beta < 0.0); // opposite sign of alpha
+        // Verify H [alpha_orig, x_orig] = [beta, 0] by applying H explicitly.
+        let v = [1.0, x[0], x[1], x[2]];
+        let orig = [3.0, 1.0, 2.0, 2.0];
+        let w: f64 = v.iter().zip(orig.iter()).map(|(a, b)| a * b).sum();
+        for (i, &o) in orig.iter().enumerate() {
+            let h = o - tau * w * v[i];
+            if i == 0 {
+                assert!((h - beta).abs() < 1e-14);
+            } else {
+                assert!(h.abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tail_gives_identity() {
+        let mut x = vec![0.0f64; 4];
+        let (beta, tau) = make_reflector(5.0, &mut x);
+        assert_eq!(beta, 5.0);
+        assert_eq!(tau, 0.0);
+    }
+
+    #[test]
+    fn reflector_is_orthogonal() {
+        let mut x = vec![0.5f64, -1.5, 0.25];
+        let (_, tau) = make_reflector(-2.0, &mut x);
+        let v = [1.0, x[0], x[1], x[2]];
+        // H = I - tau v vᵀ; check HᵀH = I.
+        let mut h = Matrix::<f64>::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                h[(i, j)] -= tau * v[i] * v[j];
+            }
+        }
+        let hth = crate::gemm::gemm_into(
+            h.as_ref(),
+            crate::gemm::Trans::Yes,
+            h.as_ref(),
+            crate::gemm::Trans::No,
+        );
+        assert!(hth.max_abs_diff(&Matrix::identity(4)) < 1e-14);
+    }
+
+    #[test]
+    fn apply_left_matches_explicit_all_layouts() {
+        let mut x = vec![0.3f64, 0.7];
+        let (_, tau) = make_reflector(1.0, &mut x);
+        let v = vec![1.0, x[0], x[1]];
+        let c0 = Matrix::from_row_major(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // Explicit H * C.
+        let mut h = Matrix::<f64>::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                h[(i, j)] -= tau * v[i] * v[j];
+            }
+        }
+        let expect = crate::gemm::matmul(&h, &c0);
+
+        // Column-major path.
+        let mut c = c0.clone();
+        apply_reflector_left(&v, tau, &mut c.as_mut());
+        assert!(c.max_abs_diff(&expect) < 1e-14);
+
+        // Row-major path.
+        let mut buf: Vec<f64> = (0..6).map(|k| (k + 1) as f64).collect(); // row-major of c0
+        {
+            let mut cm = MatMut::row_major(&mut buf, 3, 2);
+            apply_reflector_left(&v, tau, &mut cm);
+        }
+        let c_rm = Matrix::from_row_major(3, 2, &buf);
+        assert!(c_rm.max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn norm2_is_scale_safe() {
+        let x = [1e-30f32, 1e-30];
+        let n = norm2(&x);
+        assert!(n > 0.0);
+        assert!((n / (1e-30f32 * 2.0f32.sqrt()) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,236 @@
+//! Owned column-major dense matrix.
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+use std::ops::{Index, IndexMut};
+
+/// Owned dense matrix in column-major (LAPACK) layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Build from a generator `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wrap an existing column-major buffer.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_col_major: buffer length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row-major data (e.g. literal test fixtures).
+    pub fn from_row_major(rows: usize, cols: usize, data: &[T]) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_row_major: buffer length mismatch");
+        Self::from_fn(rows, cols, |i, j| data[i * cols + j])
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// `(rows, cols)`.
+    #[inline(always)]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+    /// Raw column-major data.
+    #[inline(always)]
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+    /// Raw column-major data, mutable.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+    /// Consume into the raw column-major buffer.
+    pub fn into_data(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Immutable view of the whole matrix.
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef::col_major(&self.data, self.rows, self.cols)
+    }
+
+    /// Mutable view of the whole matrix.
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        MatMut::col_major(&mut self.data, self.rows, self.cols)
+    }
+
+    /// Column `j` as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[T] {
+        assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Owned transpose.
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Keep only the first `k` columns (truncation of a factor matrix).
+    pub fn truncate_cols(mut self, k: usize) -> Matrix<T> {
+        assert!(k <= self.cols);
+        self.data.truncate(self.rows * k);
+        self.cols = k;
+        self
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> T {
+        self.as_ref().frob_norm()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> T {
+        self.data.iter().fold(T::ZERO, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Scale every element in place.
+    pub fn scale(&mut self, s: T) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `max |A - B|` over all entries; panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> T {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(T::ZERO, |acc, (&a, &b)| acc.max((a - b).abs()))
+    }
+
+    /// Measure of departure from orthonormal columns: `max |AᵀA - I|`.
+    pub fn orthonormality_error(&self) -> T {
+        let mut worst = T::ZERO;
+        for j in 0..self.cols {
+            for k in j..self.cols {
+                let mut dot = T::ZERO;
+                let cj = self.col(j);
+                let ck = self.col(k);
+                for i in 0..self.rows {
+                    dot += cj[i] * ck[i];
+                }
+                let target = if j == k { T::ONE } else { T::ZERO };
+                worst = worst.max((dot - target).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_column_major() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(1, 2)], 12.0);
+        assert_eq!(m.data()[0], 0.0); // (0,0)
+        assert_eq!(m.data()[1], 10.0); // (1,0)
+        assert_eq!(m.data()[2], 1.0); // (0,1)
+    }
+
+    #[test]
+    fn from_row_major_matches_literal() {
+        let m = Matrix::from_row_major(2, 2, &[1.0f32, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn identity_and_orthonormality() {
+        let i4 = Matrix::<f64>::identity(4);
+        assert_eq!(i4.orthonormality_error(), 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i + 7 * j) as f64);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn truncate_cols_keeps_prefix() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i + 10 * j) as f64);
+        let t = m.clone().truncate_cols(2);
+        assert_eq!(t.shape(), (3, 2));
+        for j in 0..2 {
+            assert_eq!(t.col(j), m.col(j));
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_row_major(2, 2, &[3.0f64, 0.0, 0.0, 4.0]);
+        assert!((m.frob_norm() - 5.0).abs() < 1e-14);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn views_alias_same_memory() {
+        let mut m = Matrix::<f64>::zeros(2, 2);
+        m.as_mut().set(0, 1, 5.0);
+        assert_eq!(m[(0, 1)], 5.0);
+        assert_eq!(m.as_ref().get(0, 1), 5.0);
+    }
+}

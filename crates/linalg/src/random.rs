@@ -1,0 +1,109 @@
+//! Random matrix constructions used by tests, benchmarks and the synthetic
+//! dataset generators: Gaussian matrices, Haar-ish random orthogonal
+//! matrices (QR of a Gaussian), and matrices with *prescribed* singular
+//! values — the construction behind the paper's Fig. 1 experiment
+//! ("80x80 matrix with geometrically decaying singular values from 10⁰ to
+//! 10⁻¹⁸ and random singular vectors").
+
+use crate::gemm::{gemm_into, Trans};
+use crate::matrix::Matrix;
+use crate::qr::qr;
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::StandardNormal;
+
+/// `rows x cols` matrix with i.i.d. standard normal entries.
+pub fn random_matrix<T: Scalar, R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let x: f64 = rng.sample(StandardNormal);
+        T::from_f64(x)
+    })
+}
+
+/// Random `n x k` matrix with orthonormal columns (thin Q of a Gaussian).
+///
+/// Always generated in `f64` and rounded to `T`, so that the single- and
+/// double-precision variants of an experiment see (bitwise-roundings of)
+/// the *same* test matrix.
+pub fn random_orthogonal<T: Scalar, R: Rng>(n: usize, k: usize, rng: &mut R) -> Matrix<T> {
+    assert!(k <= n, "random_orthogonal: k must be <= n");
+    let g = random_matrix::<f64, R>(n, k, rng);
+    let (q, _) = qr(&g);
+    Matrix::from_fn(n, k, |i, j| T::from_f64(q[(i, j)]))
+}
+
+/// `m x n` matrix (`m = sv.len()`, `n ≥ m`) with the given singular values
+/// and random singular vectors: `A = U · diag(sv) · Vᵀ`.
+///
+/// The factors are drawn and multiplied in `f64` and only the final product
+/// is rounded to `T`, so the *exact* singular values are shared across
+/// precisions up to one rounding — the setup the paper's Fig. 1 needs.
+pub fn matrix_with_singular_values<T: Scalar, R: Rng>(
+    sv: &[f64],
+    n: usize,
+    rng: &mut R,
+) -> Matrix<T> {
+    let m = sv.len();
+    assert!(n >= m, "matrix_with_singular_values: need n >= m");
+    let u = random_orthogonal::<f64, R>(m, m, rng);
+    let v = random_orthogonal::<f64, R>(n, m, rng);
+    // U * diag(sv) — scale the columns of U.
+    let mut us = u;
+    for j in 0..m {
+        for val in us.col_mut(j) {
+            *val *= sv[j];
+        }
+    }
+    let a = gemm_into(us.as_ref(), Trans::No, v.as_ref(), Trans::Yes);
+    Matrix::from_fn(m, n, |i, j| T::from_f64(a[(i, j)]))
+}
+
+/// Deterministic variant of [`matrix_with_singular_values`] for tests.
+pub fn matrix_with_singular_values_seeded<T: Scalar>(sv: &[f64], n: usize, seed: u64) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    matrix_with_singular_values::<T, _>(sv, n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::singular_values;
+
+    #[test]
+    fn random_orthogonal_is_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = random_orthogonal::<f64, _>(20, 8, &mut rng);
+        assert!(q.orthonormality_error() < 1e-13);
+    }
+
+    #[test]
+    fn prescribed_singular_values_are_exact() {
+        let sv = [3.0, 1.5, 0.75, 0.1];
+        let a = matrix_with_singular_values_seeded::<f64>(&sv, 25, 11);
+        let s = singular_values(a.as_ref()).unwrap();
+        for (got, want) in s.iter().zip(sv) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_precision_rounding_of_same_matrix() {
+        let sv = [2.0, 1.0, 0.5];
+        let a64 = matrix_with_singular_values_seeded::<f64>(&sv, 10, 3);
+        let a32 = matrix_with_singular_values_seeded::<f32>(&sv, 10, 3);
+        for j in 0..10 {
+            for i in 0..3 {
+                assert!((a64[(i, j)] as f32 - a32[(i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_matrix_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_matrix::<f64, _>(50, 50, &mut rng);
+        let rms = a.frob_norm() / 50.0;
+        assert!(rms > 0.8 && rms < 1.2, "rms {rms} should be near 1");
+    }
+}

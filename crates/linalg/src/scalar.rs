@@ -1,0 +1,195 @@
+//! The [`Scalar`] trait: the Rust analogue of the paper's C++ precision templates.
+//!
+//! The ICPP'21 paper generalizes TuckerMPI over `float`/`double` so that the
+//! numerically stable QR-SVD can trade working precision for speed. Here the
+//! same genericity is expressed as a trait bound: every kernel in this
+//! workspace is written once over `T: Scalar` and machine epsilon enters only
+//! through `T::EPSILON`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable by all kernels (implemented for `f32`, `f64`).
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Sum
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2.
+    const TWO: Self;
+    /// Machine epsilon (`2^-23` for `f32`, `2^-52` for `f64`).
+    const EPSILON: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// Largest finite value.
+    const MAX: Self;
+    /// Short human-readable precision name ("single" / "double").
+    const PRECISION_NAME: &'static str;
+    /// Bytes per scalar, used by the communication cost model.
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (the only way constants enter generic code).
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64` for reporting.
+    fn to_f64(self) -> f64;
+    /// Conversion from a usize (exact for the sizes used here).
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `sqrt(self^2 + other^2)` without undue overflow/underflow.
+    fn hypot(self, other: Self) -> Self;
+    /// Fused (or contracted) multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Maximum of two values (NaN-free inputs assumed).
+    fn max(self, other: Self) -> Self;
+    /// Minimum of two values (NaN-free inputs assumed).
+    fn min(self, other: Self) -> Self;
+    /// `±1` with the sign of `self` (`+1` for zero).
+    fn sign(self) -> Self {
+        if self < Self::ZERO {
+            -Self::ONE
+        } else {
+            Self::ONE
+        }
+    }
+    /// Transfer of sign: `|self| * sign(other)` (LAPACK's `SIGN`).
+    fn copysign(self, other: Self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// True if the value is finite.
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $name:expr) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const MAX: Self = <$t>::MAX;
+            const PRECISION_NAME: &'static str = $name;
+            const BYTES: usize = std::mem::size_of::<$t>();
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn hypot(self, other: Self) -> Self {
+                <$t>::hypot(self, other)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // Plain expression: lets LLVM contract when profitable without
+                // forcing a libm fma call on targets lacking the instruction.
+                self * a + b
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn copysign(self, other: Self) -> Self {
+                <$t>::copysign(self, other)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, "single");
+impl_scalar!(f64, "double");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps_matches<T: Scalar>(expect: f64) {
+        assert_eq!(T::EPSILON.to_f64(), expect);
+    }
+
+    #[test]
+    fn machine_epsilons() {
+        // The paper's ε_s = 2^-23 and ε_d = 2^-52.
+        eps_matches::<f32>((2.0f64).powi(-23));
+        eps_matches::<f64>((2.0f64).powi(-52));
+    }
+
+    #[test]
+    fn precision_names_and_bytes() {
+        assert_eq!(f32::PRECISION_NAME, "single");
+        assert_eq!(f64::PRECISION_NAME, "double");
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn sign_and_copysign() {
+        assert_eq!(Scalar::sign(-3.0f64), -1.0);
+        assert_eq!(Scalar::sign(3.0f64), 1.0);
+        assert_eq!(Scalar::sign(0.0f64), 1.0);
+        assert_eq!(Scalar::copysign(3.0f64, -1.0), -3.0);
+    }
+
+    #[test]
+    fn hypot_avoids_overflow() {
+        let big = 1.0e30f32;
+        assert!(Scalar::hypot(big, big).is_finite());
+    }
+
+    #[test]
+    fn from_usize_roundtrip() {
+        assert_eq!(<f64 as Scalar>::from_usize(12345).to_f64(), 12345.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the dense kernels: factorization identities that
+//! must hold for arbitrary shapes and data.
+
+use proptest::prelude::*;
+use tucker_linalg::gemm::{gemm_into, matmul, Trans};
+use tucker_linalg::lq::lq_factor;
+use tucker_linalg::qr::qr;
+use tucker_linalg::svd::svd;
+use tucker_linalg::syrk_lower;
+use tucker_linalg::tplqt::tplqt;
+use tucker_linalg::tslq::{tslq_matrix, TslqOptions};
+use tucker_linalg::{syev, Matrix};
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut state = seed | 1;
+        Matrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn qr_identity(a in matrix_strategy(12)) {
+        let (q, r) = qr(&a);
+        prop_assert!(q.orthonormality_error() < 1e-12);
+        let qr_prod = matmul(&q, &r);
+        prop_assert!(qr_prod.max_abs_diff(&a) < 1e-11 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn lq_gram_invariant(a in matrix_strategy(12)) {
+        let l = lq_factor(a.as_ref());
+        let llt = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+        let aat = syrk_lower(a.as_ref());
+        prop_assert!(llt.max_abs_diff(&aat) < 1e-10 * aat.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn svd_full_identity(a in matrix_strategy(10)) {
+        let out = svd(a.as_ref(), true, true).unwrap();
+        let u = out.u.unwrap();
+        let v = out.v.unwrap();
+        prop_assert!(u.orthonormality_error() < 1e-11);
+        prop_assert!(v.orthonormality_error() < 1e-11);
+        // Descending, non-negative.
+        for w in out.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        if let Some(last) = out.s.last() {
+            prop_assert!(*last >= 0.0);
+        }
+        // A = U Σ Vᵀ.
+        let mut us = u.clone();
+        for (j, &s) in out.s.iter().enumerate() {
+            for val in us.col_mut(j) {
+                *val *= s;
+            }
+        }
+        let recon = gemm_into(us.as_ref(), Trans::No, v.as_ref(), Trans::Yes);
+        prop_assert!(recon.max_abs_diff(&a) < 1e-10 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix_strategy(10)) {
+        // ‖A‖_F² = Σ σᵢ².
+        let out = svd(a.as_ref(), false, false).unwrap();
+        let ssq: f64 = out.s.iter().map(|s| s * s).sum();
+        let f2 = a.frob_norm().powi(2);
+        prop_assert!((ssq - f2).abs() < 1e-9 * f2.max(1.0));
+    }
+
+    #[test]
+    fn syev_identity(a in matrix_strategy(10)) {
+        // Symmetrize first.
+        let n = a.rows().min(a.cols());
+        let s = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let out = syev(&s).unwrap();
+        prop_assert!(out.vectors.orthonormality_error() < 1e-11);
+        let az = matmul(&s, &out.vectors);
+        let mut zl = out.vectors.clone();
+        for (j, &l) in out.values.iter().enumerate() {
+            for v in zl.col_mut(j) {
+                *v *= l;
+            }
+        }
+        prop_assert!(az.max_abs_diff(&zl) < 1e-10 * s.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn tslq_matches_dense_lq(
+        a in matrix_strategy(8),
+        block in 1usize..6,
+        coalesce in 1usize..4,
+    ) {
+        let l_tree = tslq_matrix(a.as_ref(), block, TslqOptions { coalesce });
+        let g_tree = gemm_into(l_tree.as_ref(), Trans::No, l_tree.as_ref(), Trans::Yes);
+        let want = syrk_lower(a.as_ref());
+        prop_assert!(g_tree.max_abs_diff(&want) < 1e-10 * want.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn tplqt_gram_additivity(a in matrix_strategy(8), b in matrix_strategy(8)) {
+        // Make compatible: L from a (square m x m), B with same row count.
+        let m = a.rows().min(b.rows());
+        let asub = Matrix::from_fn(m, a.cols(), |i, j| a[(i, j)]);
+        let bsub = Matrix::from_fn(m, b.cols(), |i, j| b[(i, j)]);
+        let mut l = lq_factor(asub.as_ref());
+        let mut bwork = bsub.clone();
+        let mut bv = bwork.as_mut();
+        tplqt(&mut l, &mut bv);
+        let got = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+        let mut want = syrk_lower(asub.as_ref());
+        let bbt = syrk_lower(bsub.as_ref());
+        for (w, x) in want.data_mut().iter_mut().zip(bbt.data()) {
+            *w += *x;
+        }
+        prop_assert!(got.max_abs_diff(&want) < 1e-10 * want.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn gemm_is_associative(
+        a in matrix_strategy(7),
+        b in matrix_strategy(7),
+        c in matrix_strategy(7),
+    ) {
+        // Conform shapes: A (m x k), B (k x l), C (l x n).
+        let k = a.cols().min(b.rows());
+        let l = b.cols().min(c.rows());
+        let aa = Matrix::from_fn(a.rows(), k, |i, j| a[(i, j)]);
+        let bb = Matrix::from_fn(k, l, |i, j| b[(i, j)]);
+        let cc = Matrix::from_fn(l, c.cols(), |i, j| c[(i, j)]);
+        let left = matmul(&matmul(&aa, &bb), &cc);
+        let right = matmul(&aa, &matmul(&bb, &cc));
+        prop_assert!(left.max_abs_diff(&right) < 1e-10 * left.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_contract(a in matrix_strategy(9)) {
+        // (Aᵀ)ᵀ = A through views and owned transposes.
+        let t = a.transposed().transposed();
+        prop_assert_eq!(&t, &a);
+        let via_view = a.as_ref().t().t().to_matrix();
+        prop_assert_eq!(&via_view, &a);
+    }
+}

@@ -1,0 +1,413 @@
+//! Communicators and collectives.
+//!
+//! A [`Comm`] is an ordered subset of world ranks with a private tag space.
+//! The Tucker algorithms use the world communicator plus one communicator per
+//! processor-grid *fiber* (paper §3.4): the redistribution `MPI_Alltoall`
+//! runs within a mode-`n` fiber, the butterfly TSQR exchange
+//! (`MPI_Sendrecv`) runs on the world communicator.
+//!
+//! SPMD contract: all members of a communicator must create it, and call its
+//! collectives, in the same program order — the same requirement MPI imposes.
+
+use crate::runtime::Ctx;
+use crate::wire::Wire;
+use tucker_linalg::Scalar;
+
+/// An ordered group of world ranks with its own tag space.
+pub struct Comm {
+    id: u64,
+    members: Vec<usize>,
+    my_idx: usize,
+    ops: u64,
+}
+
+impl Comm {
+    /// Communicator over all ranks, in rank order.
+    pub fn world(ctx: &mut Ctx) -> Comm {
+        let members: Vec<usize> = (0..ctx.size()).collect();
+        Comm::subset(ctx, members)
+    }
+
+    /// Communicator over the given world ranks (must include the caller).
+    ///
+    /// Every member must call this at the same point in its program, with
+    /// the members in the same order.
+    pub fn subset(ctx: &mut Ctx, members: Vec<usize>) -> Comm {
+        let my_idx = members
+            .iter()
+            .position(|&r| r == ctx.rank())
+            .expect("Comm::subset: caller not in member list");
+        Comm { id: ctx.next_comm_id(), members, my_idx, ops: 0 }
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_idx
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of member `idx`.
+    pub fn world_rank(&self, idx: usize) -> usize {
+        self.members[idx]
+    }
+
+    fn next_op(&mut self) -> u64 {
+        let op = self.ops;
+        self.ops += 1;
+        assert!(op < 1 << 23, "communicator op counter exhausted");
+        (self.id << 32) | (op << 8)
+    }
+
+    /// Tag space for explicitly tagged point-to-point traffic: disjoint from
+    /// the collective op tags (bit 31 set). Use when members of a comm
+    /// participate in *unequal numbers* of operations (e.g. tree reductions),
+    /// where the implicit op counter would diverge across ranks.
+    fn user_tag(&self, tag: u64) -> u64 {
+        assert!(tag < 1 << 31, "user tag too large");
+        (self.id << 32) | (1 << 31) | tag
+    }
+
+    /// Explicitly tagged send to member `dst`.
+    pub fn send_to<M: Wire>(&self, ctx: &mut Ctx, dst: usize, tag: u64, msg: M) {
+        ctx.send(self.members[dst], self.user_tag(tag), msg);
+    }
+
+    /// Explicitly tagged receive from member `src`.
+    pub fn recv_from<M: Wire>(&self, ctx: &mut Ctx, src: usize, tag: u64) -> M {
+        ctx.recv(self.members[src], self.user_tag(tag))
+    }
+
+    /// Explicitly tagged simultaneous exchange with a partner.
+    pub fn exchange<M: Wire>(&self, ctx: &mut Ctx, partner: usize, tag: u64, msg: M) -> M {
+        self.send_to(ctx, partner, tag, msg);
+        self.recv_from(ctx, partner, tag)
+    }
+
+    /// Point-to-point send to member `dst` under this comm's current op tag
+    /// offset by `sub`.
+    fn send_sub<M: Wire>(&self, ctx: &mut Ctx, base: u64, sub: u64, dst: usize, msg: M) {
+        ctx.send(self.members[dst], base | sub, msg);
+    }
+
+    fn recv_sub<M: Wire>(&self, ctx: &mut Ctx, base: u64, sub: u64, src: usize) -> M {
+        ctx.recv(self.members[src], base | sub)
+    }
+
+    /// Simultaneous exchange with a partner (MPI_Sendrecv): sends `msg`,
+    /// returns the partner's message.
+    pub fn sendrecv<M: Wire>(&mut self, ctx: &mut Ctx, partner: usize, msg: M) -> M {
+        let base = self.next_op();
+        self.send_sub(ctx, base, 0, partner, msg);
+        self.recv_sub(ctx, base, 0, partner)
+    }
+
+    /// Binomial-tree broadcast from member `root`. The root passes
+    /// `Some(data)`, everyone else `None`; all return the data.
+    pub fn bcast<M: Wire + Clone>(&mut self, ctx: &mut Ctx, root: usize, data: Option<M>) -> M {
+        let base = self.next_op();
+        let size = self.size();
+        let rr = (self.my_idx + size - root) % size;
+        let mut buf = data;
+        let mut mask = 1usize;
+        while mask < size {
+            if rr & mask != 0 {
+                let src = (rr - mask + root) % size;
+                buf = Some(self.recv_sub(ctx, base, 0, src));
+                break;
+            }
+            mask <<= 1;
+        }
+        if rr == 0 {
+            // Root starts with the full mask window.
+            mask = size.next_power_of_two();
+        }
+        mask >>= 1;
+        let payload = buf.expect("bcast: root must supply data");
+        while mask > 0 {
+            if rr & (mask - 1) == 0 && rr + mask < size {
+                let dst = (rr + mask + root) % size;
+                self.send_sub(ctx, base, 0, dst, payload.clone());
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+
+    /// Binomial-tree element-wise sum reduction to member `root`.
+    /// Returns `Some(total)` at the root, `None` elsewhere.
+    pub fn reduce_sum_vec<T: Scalar>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        data: Vec<T>,
+    ) -> Option<Vec<T>> {
+        let base = self.next_op();
+        let size = self.size();
+        let rr = (self.my_idx + size - root) % size;
+        let mut acc = data;
+        let mut mask = 1usize;
+        while mask < size {
+            if rr & mask != 0 {
+                let dst = (rr - mask + root) % size;
+                self.send_sub(ctx, base, 0, dst, acc);
+                return None;
+            }
+            let src_rr = rr + mask;
+            if src_rr < size {
+                let src = (src_rr + root) % size;
+                let other: Vec<T> = self.recv_sub(ctx, base, 0, src);
+                assert_eq!(other.len(), acc.len(), "reduce: length mismatch");
+                // The reduction arithmetic itself is charged to the clock.
+                ctx.charge_flops(acc.len() as f64, T::BYTES);
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// All-reduce (sum): reduce to member 0, then broadcast.
+    pub fn allreduce_sum_vec<T: Scalar>(&mut self, ctx: &mut Ctx, data: Vec<T>) -> Vec<T> {
+        let reduced = self.reduce_sum_vec(ctx, 0, data);
+        self.bcast(ctx, 0, reduced)
+    }
+
+    /// Gather every member's message to everyone (gather-to-0 + bcast).
+    pub fn allgather<M: Wire + Clone>(&mut self, ctx: &mut Ctx, msg: M) -> Vec<M> {
+        let base = self.next_op();
+        let size = self.size();
+        if self.my_idx == 0 {
+            let mut all = Vec::with_capacity(size);
+            all.push(msg);
+            for src in 1..size {
+                all.push(self.recv_sub(ctx, base, 0, src));
+            }
+            // Individual bcasts keep M: Wire without requiring Vec<M>: Wire.
+            for dst in 1..size {
+                for item in &all {
+                    self.send_sub(ctx, base, 1, dst, item.clone());
+                }
+            }
+            all
+        } else {
+            self.send_sub(ctx, base, 0, 0, msg);
+            (0..size).map(|_| self.recv_sub(ctx, base, 1, 0)).collect()
+        }
+    }
+
+    /// Personalized all-to-all: `sends[j]` goes to member `j`; returns the
+    /// vector received from each member. This is the paper's point-to-point
+    /// redistribution algorithm (`P − 1` messages per rank).
+    pub fn alltoallv<T: Scalar>(&mut self, ctx: &mut Ctx, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.size(), "alltoallv: one bucket per member");
+        let base = self.next_op();
+        let size = self.size();
+        let me = self.my_idx;
+        let mut out: Vec<Vec<T>> = (0..size).map(|_| Vec::new()).collect();
+        out[me] = std::mem::take(&mut sends[me]);
+        // Shifted schedule avoids everyone hammering member 0 first.
+        for step in 1..size {
+            let dst = (me + step) % size;
+            self.send_sub(ctx, base, 0, dst, std::mem::take(&mut sends[dst]));
+        }
+        for step in 1..size {
+            let src = (me + size - step) % size;
+            out[src] = self.recv_sub(ctx, base, 0, src);
+        }
+        out
+    }
+
+    /// Reduce-scatter of equal-role buckets: element-wise sum of `chunks[j]`
+    /// over all ranks lands on member `j`. Implemented as pairwise exchange
+    /// (all-to-all) plus local summation.
+    pub fn reduce_scatter_vec<T: Scalar>(&mut self, ctx: &mut Ctx, chunks: Vec<Vec<T>>) -> Vec<T> {
+        let received = self.alltoallv(ctx, chunks);
+        let mut acc = Vec::new();
+        for (i, chunk) in received.into_iter().enumerate() {
+            if i == 0 {
+                acc = chunk;
+            } else {
+                assert_eq!(chunk.len(), acc.len(), "reduce_scatter: length mismatch");
+                ctx.charge_flops(acc.len() as f64, T::BYTES);
+                for (a, b) in acc.iter_mut().zip(chunk) {
+                    *a += b;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Barrier (dissemination algorithm).
+    pub fn barrier(&mut self, ctx: &mut Ctx) {
+        let size = self.size();
+        let mut k = 1usize;
+        while k < size {
+            let base = self.next_op();
+            let dst = (self.my_idx + k) % size;
+            let src = (self.my_idx + size - k) % size;
+            self.send_sub(ctx, base, 0, dst, ());
+            let _: () = self.recv_sub(ctx, base, 0, src);
+            k <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::runtime::Simulator;
+
+    fn sim(p: usize) -> Simulator {
+        Simulator::new(p).with_cost(CostModel::zero())
+    }
+
+    #[test]
+    fn bcast_all_sizes_all_roots() {
+        for p in 1..=6 {
+            for root in 0..p {
+                let out = sim(p).run(|ctx| {
+                    let mut world = Comm::world(ctx);
+                    let data = (world.rank() == root).then(|| vec![42.0f64, root as f64]);
+                    world.bcast(ctx, root, data)
+                });
+                for r in out.results {
+                    assert_eq!(r, vec![42.0, root as f64], "p={p} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            let out = sim(p).run(|ctx| {
+                let mut world = Comm::world(ctx);
+                let mine = vec![ctx.rank() as f64, 1.0];
+                world.allreduce_sum_vec(ctx, mine)
+            });
+            let expect = vec![(0..p).sum::<usize>() as f64, p as f64];
+            for r in out.results {
+                assert_eq!(r, expect, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn sendrecv_swaps() {
+        let out = sim(2).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let partner = 1 - world.rank();
+            world.sendrecv(ctx, partner, vec![world.rank() as f64])
+        });
+        assert_eq!(out.results[0], vec![1.0]);
+        assert_eq!(out.results[1], vec![0.0]);
+    }
+
+    #[test]
+    fn alltoallv_personalized() {
+        let p = 4;
+        let out = sim(p).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let me = world.rank();
+            // sends[j] = [me, j]
+            let sends: Vec<Vec<f64>> = (0..p).map(|j| vec![me as f64, j as f64]).collect();
+            world.alltoallv(ctx, sends)
+        });
+        for (me, recv) in out.results.iter().enumerate() {
+            for (src, v) in recv.iter().enumerate() {
+                assert_eq!(v, &vec![src as f64, me as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_lands_summed_chunks() {
+        let p = 3;
+        let out = sim(p).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let me = world.rank() as f64;
+            // chunk j from every rank: [me * 10 + j]
+            let chunks: Vec<Vec<f64>> = (0..p).map(|j| vec![me * 10.0 + j as f64]).collect();
+            world.reduce_scatter_vec(ctx, chunks)
+        });
+        // Member j receives sum over ranks of [rank*10 + j] = 30 + 3j.
+        for (j, r) in out.results.iter().enumerate() {
+            assert_eq!(r, &vec![30.0 + 3.0 * j as f64]);
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_member_order() {
+        let p = 5;
+        let out = sim(p).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            world.allgather(ctx, vec![world.rank() as f64])
+        });
+        for r in out.results {
+            for (j, v) in r.iter().enumerate() {
+                assert_eq!(v, &vec![j as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_communicators_are_independent() {
+        // Two fibers {0,1} and {2,3}; each does its own allreduce.
+        let out = sim(4).run(|ctx| {
+            let members = if ctx.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+            let mut fiber = Comm::subset(ctx, members);
+            fiber.allreduce_sum_vec(ctx, vec![ctx.rank() as f64])
+        });
+        assert_eq!(out.results[0], vec![1.0]);
+        assert_eq!(out.results[1], vec![1.0]);
+        assert_eq!(out.results[2], vec![5.0]);
+        assert_eq!(out.results[3], vec![5.0]);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = sim(7).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            world.barrier(ctx);
+            ctx.rank()
+        });
+        assert_eq!(out.results.len(), 7);
+    }
+
+    #[test]
+    fn non_power_of_two_collectives() {
+        for p in [3, 5, 6, 7] {
+            let out = sim(p).run(|ctx| {
+                let mut world = Comm::world(ctx);
+                let s = world.allreduce_sum_vec(ctx, vec![1.0f32]);
+                let g = world.allgather(ctx, vec![ctx.rank() as f32]);
+                (s, g.len())
+            });
+            for (s, glen) in out.results {
+                assert_eq!(s, vec![p as f32]);
+                assert_eq!(glen, p);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_charges_message_costs() {
+        let cost = CostModel { alpha: 1.0, beta_per_byte: 0.0, gamma_double: 0.0, gamma_single: 0.0, syrk_derate: 1.0 };
+        let out = Simulator::new(4).with_cost(cost).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let data = (world.rank() == 0).then(|| vec![0.0f64; 4]);
+            world.bcast(ctx, 0, data);
+            ctx.virtual_time()
+        });
+        // Binomial tree depth 2: last leaf's clock ≥ 2 α, ≤ 3 α.
+        let max = out.results.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max >= 2.0 && max <= 3.0, "max vt = {max}");
+    }
+}

@@ -1,0 +1,37 @@
+//! A deterministic simulated MPI runtime.
+//!
+//! The paper's algorithms are SPMD programs over MPI. This crate runs the
+//! same SPMD programs with `P` *simulated ranks as OS threads*, communicating
+//! through typed point-to-point channels, and layers an **α-β-γ cost model**
+//! (per-message latency α, per-byte bandwidth β, per-flop cost γ — precision
+//! aware) on top: every message advances a per-rank virtual clock by
+//! `α + β·bytes`, every kernel charges `γ·flops`, and receives synchronize
+//! clocks Lamport-style. The resulting *modeled time* reproduces the
+//! complexity analysis of the paper's §3.5 and drives the scaling figures,
+//! while the real execution of the numerical kernels preserves the
+//! floating-point behaviour bit-for-bit per rank.
+//!
+//! Why simulate? The reproduction target machine is a laptop, not a
+//! 704-node cluster; see DESIGN.md §2 for the substitution argument.
+//!
+//! * [`runtime::Simulator`] — spawns the ranks and collects results + stats.
+//! * [`runtime::Ctx`] — per-rank handle: `send`/`recv`, flop charging,
+//!   named phase timers.
+//! * [`comm::Comm`] — communicators (world or subsets, e.g. processor-grid
+//!   fibers) with the collectives the Tucker algorithms need: `sendrecv`,
+//!   `bcast`, `allreduce`, `allgather`, `alltoallv`, `reduce_scatter`,
+//!   `barrier`.
+//! * [`cost::CostModel`] — machine constants; [`cost::CostModel::andes`]
+//!   mirrors the paper's evaluation platform.
+
+pub mod comm;
+pub mod cost;
+pub mod runtime;
+pub mod stats;
+pub mod wire;
+
+pub use comm::Comm;
+pub use cost::CostModel;
+pub use runtime::{Ctx, SimOutput, Simulator};
+pub use stats::{Breakdown, PhaseStat, RankStats};
+pub use wire::Wire;

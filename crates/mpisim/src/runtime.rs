@@ -1,0 +1,391 @@
+//! The simulator core: SPMD ranks as threads, typed channels, virtual clocks.
+
+use crate::cost::CostModel;
+use crate::stats::{PhaseStat, RankStats};
+use crate::wire::Wire;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Internal message envelope.
+struct Message {
+    tag: u64,
+    /// Virtual arrival time at the receiver (sender clock + α + β·bytes).
+    arrival_vt: f64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Simulated machine: `p` SPMD ranks with a shared cost model.
+pub struct Simulator {
+    p: usize,
+    cost: CostModel,
+}
+
+/// Results of one simulated run.
+pub struct SimOutput<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-rank statistics, indexed by rank.
+    pub stats: Vec<RankStats>,
+}
+
+impl<R> SimOutput<R> {
+    /// Paper-style aggregation of the per-rank stats.
+    pub fn breakdown(&self) -> crate::stats::Breakdown {
+        crate::stats::Breakdown::from_ranks(&self.stats)
+    }
+}
+
+impl Simulator {
+    /// Simulator with `p` ranks and the default (Andes) cost model.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "need at least one rank");
+        Simulator { p, cost: CostModel::default() }
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Run an SPMD program: every rank executes `f` with its own [`Ctx`].
+    ///
+    /// Panics in any rank propagate (the scope joins all threads first).
+    pub fn run<R, F>(&self, f: F) -> SimOutput<R>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        let p = self.p;
+        // Channel matrix: channels[src][dst].
+        let mut senders: Vec<Vec<Sender<Message>>> = Vec::with_capacity(p);
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..p).map(|_| Vec::new()).collect();
+        for _src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for dst in 0..p {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                receivers[dst].push(Some(rx));
+            }
+            senders.push(row);
+        }
+        // Per-rank inboxes: receivers_from[rank][src].
+        let mut inboxes: Vec<Vec<Receiver<Message>>> = Vec::with_capacity(p);
+        for dst in 0..p {
+            inboxes.push(receivers[dst].iter_mut().map(|r| r.take().unwrap()).collect());
+        }
+
+        let cost = self.cost;
+        let fref = &f;
+        let mut outputs: Vec<Option<(R, RankStats)>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            // Move each sender row into its thread: when a rank finishes (or
+            // panics) its senders drop, so peers blocked on recv observe a
+            // disconnect instead of deadlocking.
+            for (rank, (inbox, outs)) in inboxes.into_iter().zip(senders).enumerate() {
+                handles.push(scope.spawn(move || {
+                    let mut ctx = Ctx::new(rank, p, outs, inbox, cost);
+                    let start = Instant::now();
+                    let r = fref(&mut ctx);
+                    ctx.stats.total.wall = start.elapsed().as_secs_f64();
+                    ctx.stats.modeled_time = ctx.vt;
+                    ctx.stats.total.modeled = ctx.vt;
+                    (r, ctx.stats)
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                outputs[rank] = Some(h.join().expect("simulated rank panicked"));
+            }
+        });
+        let mut results = Vec::with_capacity(p);
+        let mut stats = Vec::with_capacity(p);
+        for o in outputs {
+            let (r, s) = o.unwrap();
+            results.push(r);
+            stats.push(s);
+        }
+        SimOutput { results, stats }
+    }
+}
+
+/// Per-rank execution context: identity, messaging, cost accounting.
+pub struct Ctx {
+    rank: usize,
+    size: usize,
+    /// senders[dst]: channel from this rank to `dst`. Note: `senders[src]`
+    /// rows were built per source; here each entry sends *from this rank*.
+    out: Vec<Sender<Message>>,
+    inbox: Vec<Receiver<Message>>,
+    stash: Vec<VecDeque<Message>>,
+    cost: CostModel,
+    /// Virtual (modeled) clock, seconds.
+    vt: f64,
+    pub(crate) stats: RankStats,
+    /// Open phase frames: (name, wall start, vt start, snapshot of totals).
+    phase_stack: Vec<(String, Instant, f64, PhaseStat)>,
+    /// Monotone counter handed to communicators for tag spaces.
+    comm_counter: u64,
+}
+
+impl Ctx {
+    fn new(
+        rank: usize,
+        size: usize,
+        out: Vec<Sender<Message>>,
+        inbox: Vec<Receiver<Message>>,
+        cost: CostModel,
+    ) -> Self {
+        Ctx {
+            rank,
+            size,
+            out,
+            inbox,
+            stash: (0..size).map(|_| VecDeque::new()).collect(),
+            cost,
+            vt: 0.0,
+            stats: RankStats::default(),
+            phase_stack: Vec::new(),
+            comm_counter: 0,
+        }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+    /// Current virtual clock, seconds.
+    pub fn virtual_time(&self) -> f64 {
+        self.vt
+    }
+
+    pub(crate) fn next_comm_id(&mut self) -> u64 {
+        self.comm_counter += 1;
+        self.comm_counter
+    }
+
+    /// Send `msg` to `dst` with a tag. Non-blocking; charges `α + β·bytes`
+    /// to this rank's clock and stamps the message with its arrival time.
+    pub fn send<M: Wire>(&mut self, dst: usize, tag: u64, msg: M) {
+        assert!(dst < self.size, "send: bad destination");
+        let bytes = msg.wire_bytes();
+        self.vt += self.cost.message(bytes);
+        self.stats.total.bytes_sent += bytes as u64;
+        self.stats.total.msgs += 1;
+        self.out[dst]
+            .send(Message { tag, arrival_vt: self.vt, payload: Box::new(msg) })
+            .expect("simulated channel closed");
+    }
+
+    /// Blocking receive of a message with the given tag from `src`.
+    /// Synchronizes the virtual clock with the message arrival time.
+    pub fn recv<M: Wire>(&mut self, src: usize, tag: u64) -> M {
+        assert!(src < self.size, "recv: bad source");
+        // Check stashed out-of-order messages first.
+        if let Some(pos) = self.stash[src].iter().position(|m| m.tag == tag) {
+            let m = self.stash[src].remove(pos).unwrap();
+            return self.open::<M>(m);
+        }
+        loop {
+            let m = self.inbox[src].recv().expect("simulated channel closed");
+            if m.tag == tag {
+                return self.open::<M>(m);
+            }
+            self.stash[src].push_back(m);
+        }
+    }
+
+    fn open<M: Wire>(&mut self, m: Message) -> M {
+        self.vt = self.vt.max(m.arrival_vt);
+        *m.payload.downcast::<M>().unwrap_or_else(|_| {
+            panic!("rank {}: message type mismatch for tag {}", self.rank, m.tag)
+        })
+    }
+
+    /// Charge `flops` floating-point operations at the γ-rate for scalars of
+    /// `bytes_per_word` bytes (4 → single, 8 → double).
+    pub fn charge_flops(&mut self, flops: f64, bytes_per_word: usize) {
+        self.vt += flops * self.cost.gamma(bytes_per_word);
+        self.stats.total.flops += flops;
+    }
+
+    /// Charge flops executed by the Gram (`syrk`) kernel: same flop count,
+    /// but time derated by [`CostModel::syrk_derate`] (see that field's
+    /// documentation for the paper-measured justification).
+    pub fn charge_syrk_flops(&mut self, flops: f64, bytes_per_word: usize) {
+        self.vt += flops * self.cost.gamma(bytes_per_word) * self.cost.syrk_derate;
+        self.stats.total.flops += flops;
+    }
+
+    /// Run `f` under a named phase timer; wall time, modeled time, flops and
+    /// message counters accrued inside are attributed to `name`.
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        let frame = (name.to_string(), Instant::now(), self.vt, self.stats.total);
+        self.phase_stack.push(frame);
+        let r = f(self);
+        let (name, start, vt0, before) = self.phase_stack.pop().expect("phase stack imbalance");
+        let delta = PhaseStat {
+            wall: start.elapsed().as_secs_f64(),
+            modeled: self.vt - vt0,
+            flops: self.stats.total.flops - before.flops,
+            bytes_sent: self.stats.total.bytes_sent - before.bytes_sent,
+            msgs: self.stats.total.msgs - before.msgs,
+        };
+        self.stats.accumulate(&name, delta);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_have_distinct_ids() {
+        let out = Simulator::new(4).with_cost(CostModel::zero()).run(|ctx| (ctx.rank(), ctx.size()));
+        for (i, &(r, s)) in out.results.iter().enumerate() {
+            assert_eq!(r, i);
+            assert_eq!(s, 4);
+        }
+    }
+
+    #[test]
+    fn ping_pong() {
+        let out = Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                ctx.recv::<Vec<f64>>(1, 8)
+            } else {
+                let v = ctx.recv::<Vec<f64>>(0, 7);
+                let doubled: Vec<f64> = v.iter().map(|x| 2.0 * x).collect();
+                ctx.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(out.results[0], vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_stashed() {
+        let out = Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1.0f64]);
+                ctx.send(1, 2, vec![2.0f64]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let b = ctx.recv::<Vec<f64>>(0, 2);
+                let a = ctx.recv::<Vec<f64>>(0, 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(out.results[1], 12.0);
+    }
+
+    #[test]
+    fn virtual_clock_synchronizes() {
+        // Rank 0 computes 1e9 double flops then sends; rank 1's clock must be
+        // at least rank 0's compute time plus the message cost.
+        let cost = CostModel { alpha: 1e-3, beta_per_byte: 0.0, gamma_double: 1e-9, gamma_single: 1e-9, syrk_derate: 1.0 };
+        let out = Simulator::new(2).with_cost(cost).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge_flops(1.0e9, 8);
+                ctx.send(1, 0, vec![0.0f64]);
+            } else {
+                let _ = ctx.recv::<Vec<f64>>(0, 0);
+            }
+            ctx.virtual_time()
+        });
+        assert!((out.results[0] - 1.001).abs() < 1e-9);
+        assert!((out.results[1] - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_costs_accrue() {
+        let cost = CostModel { alpha: 1.0, beta_per_byte: 0.5, gamma_double: 0.0, gamma_single: 0.0, syrk_derate: 1.0 };
+        let out = Simulator::new(2).with_cost(cost).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0.0f64; 10]); // 80 bytes → 1 + 40 = 41 s
+            } else {
+                let _ = ctx.recv::<Vec<f64>>(0, 0);
+            }
+            ctx.virtual_time()
+        });
+        assert!((out.results[0] - 41.0).abs() < 1e-12);
+        assert!((out.results[1] - 41.0).abs() < 1e-12);
+        assert_eq!(out.stats[0].total.msgs, 1);
+        assert_eq!(out.stats[0].total.bytes_sent, 80);
+    }
+
+    #[test]
+    fn phases_attribute_costs() {
+        let cost = CostModel { alpha: 0.0, beta_per_byte: 0.0, gamma_double: 1.0, gamma_single: 1.0, syrk_derate: 1.0 };
+        let out = Simulator::new(1).with_cost(cost).run(|ctx| {
+            ctx.phase("LQ", |c| c.charge_flops(3.0, 8));
+            ctx.phase("TTM", |c| c.charge_flops(4.0, 8));
+            ctx.phase("LQ", |c| c.charge_flops(2.0, 8));
+        });
+        let s = &out.stats[0];
+        assert_eq!(s.phase("LQ").unwrap().flops, 5.0);
+        assert_eq!(s.phase("LQ").unwrap().modeled, 5.0);
+        assert_eq!(s.phase("TTM").unwrap().flops, 4.0);
+        assert_eq!(s.modeled_time, 9.0);
+    }
+
+    #[test]
+    fn nested_phases() {
+        let cost = CostModel { alpha: 0.0, beta_per_byte: 0.0, gamma_double: 1.0, gamma_single: 1.0, syrk_derate: 1.0 };
+        let out = Simulator::new(1).with_cost(cost).run(|ctx| {
+            ctx.phase("outer", |c| {
+                c.charge_flops(1.0, 8);
+                c.phase("inner", |c2| c2.charge_flops(2.0, 8));
+            });
+        });
+        let s = &out.stats[0];
+        assert_eq!(s.phase("outer").unwrap().flops, 3.0);
+        assert_eq!(s.phase("inner").unwrap().flops, 2.0);
+    }
+
+    #[test]
+    fn single_vs_double_gamma() {
+        let cost = CostModel { alpha: 0.0, beta_per_byte: 0.0, gamma_double: 2.0, gamma_single: 1.0, syrk_derate: 1.0 };
+        let out = Simulator::new(1).with_cost(cost).run(|ctx| {
+            ctx.charge_flops(5.0, 4);
+            ctx.charge_flops(5.0, 8);
+            ctx.virtual_time()
+        });
+        assert_eq!(out.results[0], 15.0);
+    }
+
+    #[test]
+    fn many_ranks_all_to_one() {
+        let out = Simulator::new(8).with_cost(CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                let mut sum = 0.0;
+                for src in 1..ctx.size() {
+                    sum += ctx.recv::<Vec<f64>>(src, 0)[0];
+                }
+                sum
+            } else {
+                ctx.send(0, 0, vec![ctx.rank() as f64]);
+                0.0
+            }
+        });
+        assert_eq!(out.results[0], (1..8).sum::<usize>() as f64);
+    }
+}

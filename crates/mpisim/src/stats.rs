@@ -1,0 +1,152 @@
+//! Per-rank and aggregated execution statistics.
+//!
+//! The paper reports time breakdowns "according to the breakdown on the
+//! slowest processor" (§4.1) across LQ/Gram, SVD/EVD, and TTM phases —
+//! [`Breakdown`] reproduces that aggregation over the per-rank
+//! [`RankStats`].
+
+use std::collections::BTreeMap;
+
+/// Accumulated costs of one named phase on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Wall-clock seconds (real execution on the host).
+    pub wall: f64,
+    /// Modeled seconds (α-β-γ virtual clock advance).
+    pub modeled: f64,
+    /// Floating-point operations charged.
+    pub flops: f64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Messages sent.
+    pub msgs: u64,
+}
+
+impl PhaseStat {
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &PhaseStat) {
+        self.wall += other.wall;
+        self.modeled += other.modeled;
+        self.flops += other.flops;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs += other.msgs;
+    }
+}
+
+/// Statistics collected by one simulated rank.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Final virtual-clock value (modeled completion time of this rank).
+    pub modeled_time: f64,
+    /// Whole-run totals.
+    pub total: PhaseStat,
+    /// Named-phase totals, in first-use order.
+    pub phases: Vec<(String, PhaseStat)>,
+}
+
+impl RankStats {
+    /// Accumulate `delta` into the named phase (creating it on first use).
+    pub fn accumulate(&mut self, name: &str, delta: PhaseStat) {
+        if let Some((_, p)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            p.add(&delta);
+        } else {
+            self.phases.push((name.to_string(), delta));
+        }
+    }
+
+    /// Stat for a named phase, if recorded.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, p)| p)
+    }
+}
+
+/// Aggregation of per-rank stats across the whole simulated machine.
+#[derive(Clone, Debug, Default)]
+pub struct Breakdown {
+    /// Modeled makespan: max over ranks of the final virtual clock.
+    pub modeled_time: f64,
+    /// Max wall time over ranks.
+    pub wall_time: f64,
+    /// Total flops over all ranks.
+    pub total_flops: f64,
+    /// Total bytes sent over all ranks.
+    pub total_bytes: u64,
+    /// Total messages over all ranks.
+    pub total_msgs: u64,
+    /// Per-phase: stat of the slowest rank (by modeled time) in that phase.
+    pub phases: BTreeMap<String, PhaseStat>,
+}
+
+impl Breakdown {
+    /// Aggregate per-rank stats, paper style: breakdowns from the slowest
+    /// rank, totals summed.
+    pub fn from_ranks(ranks: &[RankStats]) -> Self {
+        let mut b = Breakdown::default();
+        for r in ranks {
+            b.modeled_time = b.modeled_time.max(r.modeled_time);
+            b.wall_time = b.wall_time.max(r.total.wall);
+            b.total_flops += r.total.flops;
+            b.total_bytes += r.total.bytes_sent;
+            b.total_msgs += r.total.msgs;
+        }
+        // Slowest rank overall defines the reported per-phase breakdown.
+        if let Some(slowest) = ranks
+            .iter()
+            .max_by(|a, b| a.modeled_time.partial_cmp(&b.modeled_time).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            for (name, p) in &slowest.phases {
+                b.phases.insert(name.clone(), *p);
+            }
+        }
+        b
+    }
+
+    /// Aggregate modeled GFLOP/s per rank (the paper's Fig. 3a metric).
+    pub fn gflops_per_rank(&self, num_ranks: usize) -> f64 {
+        if self.modeled_time == 0.0 {
+            return 0.0;
+        }
+        self.total_flops / self.modeled_time / num_ranks as f64 / 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(modeled: f64, flops: f64) -> PhaseStat {
+        PhaseStat { wall: modeled, modeled, flops, bytes_sent: 10, msgs: 1 }
+    }
+
+    #[test]
+    fn accumulate_merges_by_name() {
+        let mut r = RankStats::default();
+        r.accumulate("LQ", stat(1.0, 100.0));
+        r.accumulate("TTM", stat(2.0, 200.0));
+        r.accumulate("LQ", stat(3.0, 300.0));
+        assert_eq!(r.phases.len(), 2);
+        let lq = r.phase("LQ").unwrap();
+        assert_eq!(lq.modeled, 4.0);
+        assert_eq!(lq.flops, 400.0);
+    }
+
+    #[test]
+    fn breakdown_takes_slowest_rank() {
+        let mut fast = RankStats { modeled_time: 1.0, ..Default::default() };
+        fast.accumulate("LQ", stat(1.0, 50.0));
+        fast.total = stat(1.0, 50.0);
+        let mut slow = RankStats { modeled_time: 5.0, ..Default::default() };
+        slow.accumulate("LQ", stat(5.0, 70.0));
+        slow.total = stat(5.0, 70.0);
+        let b = Breakdown::from_ranks(&[fast, slow]);
+        assert_eq!(b.modeled_time, 5.0);
+        assert_eq!(b.total_flops, 120.0);
+        assert_eq!(b.phases["LQ"].modeled, 5.0);
+    }
+
+    #[test]
+    fn gflops_metric() {
+        let b = Breakdown { modeled_time: 2.0, total_flops: 8.0e9, ..Default::default() };
+        assert!((b.gflops_per_rank(2) - 2.0).abs() < 1e-12);
+    }
+}

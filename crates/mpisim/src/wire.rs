@@ -1,0 +1,55 @@
+//! The [`Wire`] trait: anything that can be sent between simulated ranks
+//! with a well-defined on-the-wire size (which feeds the β term of the cost
+//! model).
+
+use tucker_linalg::{Matrix, Scalar};
+
+/// A message payload with a known wire size in bytes.
+pub trait Wire: Send + 'static {
+    /// Number of bytes this payload occupies on the (modeled) wire.
+    fn wire_bytes(&self) -> usize;
+}
+
+impl<T: Scalar> Wire for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        self.len() * T::BYTES
+    }
+}
+
+impl<T: Scalar> Wire for Matrix<T> {
+    fn wire_bytes(&self) -> usize {
+        self.data().len() * T::BYTES
+    }
+}
+
+impl Wire for () {
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for usize {
+    fn wire_bytes(&self) -> usize {
+        std::mem::size_of::<usize>()
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(vec![0.0f32; 10].wire_bytes(), 40);
+        assert_eq!(vec![0.0f64; 10].wire_bytes(), 80);
+        assert_eq!(Matrix::<f64>::zeros(3, 4).wire_bytes(), 96);
+        assert_eq!(().wire_bytes(), 0);
+        assert_eq!((vec![0.0f32; 2], vec![0.0f64; 1]).wire_bytes(), 16);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the simulated-MPI collectives: for arbitrary
+//! rank counts, payload sizes and roots, every collective must match its
+//! sequential specification, and the virtual clocks must satisfy basic
+//! causality.
+
+use proptest::prelude::*;
+use tucker_mpisim::{Comm, CostModel, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bcast_delivers_root_payload(p in 1usize..9, root_sel in any::<usize>(), len in 0usize..20) {
+        let root = root_sel % p;
+        let payload: Vec<f64> = (0..len).map(|i| (i * 3 + 1) as f64).collect();
+        let expect = payload.clone();
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let data = (world.rank() == root).then(|| payload.clone());
+            world.bcast(ctx, root, data)
+        });
+        for r in out.results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    #[test]
+    fn allreduce_is_global_sum(p in 1usize..9, len in 1usize..16) {
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let mine: Vec<f64> = (0..len).map(|i| (ctx.rank() * 100 + i) as f64).collect();
+            world.allreduce_sum_vec(ctx, mine)
+        });
+        for r in &out.results {
+            for (i, v) in r.iter().enumerate() {
+                let want: f64 = (0..p).map(|rk| (rk * 100 + i) as f64).sum();
+                prop_assert!((v - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(p in 1usize..8) {
+        // sends[me][dst] = f(me, dst); after exchange recv[me][src] = f(src, me).
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let me = world.rank();
+            let sends: Vec<Vec<f64>> =
+                (0..p).map(|dst| vec![(me * 31 + dst * 7) as f64]).collect();
+            world.alltoallv(ctx, sends)
+        });
+        for (me, recv) in out.results.iter().enumerate() {
+            for (src, v) in recv.iter().enumerate() {
+                prop_assert_eq!(v[0], (src * 31 + me * 7) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_equals_allreduce_slice(p in 1usize..8, chunk in 1usize..6) {
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let me = world.rank();
+            let chunks: Vec<Vec<f64>> = (0..p)
+                .map(|j| (0..chunk).map(|i| (me * 1000 + j * 10 + i) as f64).collect())
+                .collect();
+            world.reduce_scatter_vec(ctx, chunks)
+        });
+        for (j, r) in out.results.iter().enumerate() {
+            for (i, v) in r.iter().enumerate() {
+                let want: f64 = (0..p).map(|rk| (rk * 1000 + j * 10 + i) as f64).sum();
+                prop_assert!((v - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_preserves_order(p in 1usize..8, len in 0usize..5) {
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let mine: Vec<f32> = (0..len).map(|i| (ctx.rank() * 10 + i) as f32).collect();
+            world.allgather(ctx, mine)
+        });
+        for r in &out.results {
+            prop_assert_eq!(r.len(), p);
+            for (src, v) in r.iter().enumerate() {
+                for (i, x) in v.iter().enumerate() {
+                    prop_assert_eq!(*x, (src * 10 + i) as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_clocks_are_causal(p in 2usize..7) {
+        // After a barrier, every rank's clock must be at least the max cost of
+        // any message it waited on — in particular non-decreasing along any
+        // chain. We check clocks are all >= the straggler's pre-barrier time.
+        let cost = CostModel { alpha: 1e-3, beta_per_byte: 0.0, gamma_double: 1e-6, gamma_single: 1e-6, syrk_derate: 1.0 };
+        let out = Simulator::new(p).with_cost(cost).run(|ctx| {
+            // Rank 0 is the straggler: burns 1000 flops = 1ms.
+            if ctx.rank() == 0 {
+                ctx.charge_flops(1000.0, 8);
+            }
+            let mut world = Comm::world(ctx);
+            world.barrier(ctx);
+            ctx.virtual_time()
+        });
+        for vt in out.results {
+            prop_assert!(vt >= 1e-3, "clock {vt} ran before the straggler");
+        }
+    }
+}

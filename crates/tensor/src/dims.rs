@@ -1,0 +1,111 @@
+//! Dimension bookkeeping: the `I_n^<`, `I_n^>`, `I^*` products of the paper
+//! (§2.1) and linear/multi index conversions for the first-mode-fastest
+//! layout.
+
+/// Product of all dimensions (`I^*`). Empty product is 1.
+pub fn product(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// Product of dimensions *before* mode `n` (`I_n^<`).
+pub fn prod_before(dims: &[usize], n: usize) -> usize {
+    dims[..n].iter().product()
+}
+
+/// Product of dimensions *after* mode `n` (`I_n^>`).
+pub fn prod_after(dims: &[usize], n: usize) -> usize {
+    dims[n + 1..].iter().product()
+}
+
+/// Linear offset of a multi-index under first-mode-fastest layout.
+pub fn linear_index(dims: &[usize], idx: &[usize]) -> usize {
+    debug_assert_eq!(dims.len(), idx.len());
+    let mut lin = 0;
+    let mut stride = 1;
+    for (d, i) in dims.iter().zip(idx) {
+        debug_assert!(i < d, "index out of bounds");
+        lin += i * stride;
+        stride *= d;
+    }
+    lin
+}
+
+/// Inverse of [`linear_index`].
+pub fn multi_index(dims: &[usize], mut lin: usize) -> Vec<usize> {
+    let mut idx = Vec::with_capacity(dims.len());
+    for &d in dims {
+        idx.push(lin % d);
+        lin /= d;
+    }
+    idx
+}
+
+/// Column index of the mode-`n` unfolding corresponding to a multi-index
+/// (all modes except `n`, with modes `< n` varying fastest).
+pub fn unfold_col_index(dims: &[usize], n: usize, idx: &[usize]) -> usize {
+    let mut col = 0;
+    let mut stride = 1;
+    for k in 0..dims.len() {
+        if k == n {
+            continue;
+        }
+        col += idx[k] * stride;
+        stride *= dims[k];
+    }
+    col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn products() {
+        let dims = [3, 4, 5, 6];
+        assert_eq!(product(&dims), 360);
+        assert_eq!(prod_before(&dims, 0), 1);
+        assert_eq!(prod_before(&dims, 2), 12);
+        assert_eq!(prod_after(&dims, 3), 1);
+        assert_eq!(prod_after(&dims, 1), 30);
+    }
+
+    #[test]
+    fn linear_multi_roundtrip() {
+        let dims = [3, 4, 5];
+        for lin in 0..60 {
+            let idx = multi_index(&dims, lin);
+            assert_eq!(linear_index(&dims, &idx), lin);
+        }
+    }
+
+    #[test]
+    fn first_mode_fastest() {
+        let dims = [3, 4];
+        assert_eq!(linear_index(&dims, &[1, 0]), 1);
+        assert_eq!(linear_index(&dims, &[0, 1]), 3);
+    }
+
+    #[test]
+    fn unfold_col_index_matches_layout() {
+        // For mode n, linear = i_n * I^< ... check consistency:
+        // lin = col_within_block + i_n * I^< + block * I^< * I_n.
+        let dims = [3, 4, 5];
+        for lin in 0..60 {
+            let idx = multi_index(&dims, lin);
+            for n in 0..3 {
+                let col = unfold_col_index(&dims, n, &idx);
+                let before = prod_before(&dims, n);
+                let within = col % before;
+                let block = col / before;
+                let expect = within + idx[n] * before + block * before * dims[n];
+                assert_eq!(lin, expect, "mode {n}, lin {lin}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dims() {
+        assert_eq!(product(&[]), 1);
+        assert_eq!(linear_index(&[], &[]), 0);
+    }
+}

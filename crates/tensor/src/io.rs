@@ -1,0 +1,227 @@
+//! Tensor file I/O: a minimal self-describing binary format.
+//!
+//! TuckerMPI ships substantial parallel-I/O machinery for its terabyte
+//! inputs; at reproduction scale a simple single-file format suffices, but
+//! a real format matters for the CLI tool and for interchange between runs.
+//!
+//! Layout (all little-endian):
+//! ```text
+//! magic   4 bytes  b"TNSR"
+//! version u32      1
+//! scalar  u32      4 (f32) or 8 (f64)
+//! ndims   u32
+//! dims    ndims x u64
+//! data    product(dims) scalars, first-mode-fastest
+//! ```
+
+use crate::dense::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"TNSR";
+const VERSION: u32 = 1;
+
+/// Scalar width stored in a tensor file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoredPrecision {
+    /// 4-byte floats.
+    Single,
+    /// 8-byte floats.
+    Double,
+}
+
+/// Header of a tensor file (cheap to read without the payload).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorHeader {
+    /// Stored precision.
+    pub precision: StoredPrecision,
+    /// Dimensions.
+    pub dims: Vec<usize>,
+}
+
+/// Element I/O for the two supported scalar types.
+pub trait IoScalar: tucker_linalg::Scalar {
+    /// Byte width tag stored in the header.
+    const TAG: u32;
+    /// Write one value.
+    fn write_le(self, w: &mut impl Write) -> io::Result<()>;
+    /// Read one value.
+    fn read_le(r: &mut impl Read) -> io::Result<Self>;
+}
+
+impl IoScalar for f32 {
+    const TAG: u32 = 4;
+    fn write_le(self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_le_bytes())
+    }
+    fn read_le(r: &mut impl Read) -> io::Result<Self> {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+}
+
+impl IoScalar for f64 {
+    const TAG: u32 = 8;
+    fn write_le(self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_le_bytes())
+    }
+    fn read_le(r: &mut impl Read) -> io::Result<Self> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Write a tensor.
+pub fn write_tensor<T: IoScalar>(path: impl AsRef<Path>, x: &Tensor<T>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, T::TAG)?;
+    write_u32(&mut w, x.ndims() as u32)?;
+    for &d in x.dims() {
+        write_u64(&mut w, d as u64)?;
+    }
+    for &v in x.data() {
+        v.write_le(&mut w)?;
+    }
+    w.flush()
+}
+
+fn read_header(r: &mut impl Read) -> io::Result<TensorHeader> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TNSR file"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad("unsupported TNSR version"));
+    }
+    let precision = match read_u32(r)? {
+        4 => StoredPrecision::Single,
+        8 => StoredPrecision::Double,
+        _ => return Err(bad("unknown scalar width")),
+    };
+    let ndims = read_u32(r)? as usize;
+    if ndims > 16 {
+        return Err(bad("implausible mode count"));
+    }
+    let mut dims = Vec::with_capacity(ndims);
+    for _ in 0..ndims {
+        dims.push(read_u64(r)? as usize);
+    }
+    Ok(TensorHeader { precision, dims })
+}
+
+/// Read only the header.
+pub fn read_tensor_header(path: impl AsRef<Path>) -> io::Result<TensorHeader> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_header(&mut r)
+}
+
+/// Read a tensor stored at precision `T` (errors if the file's width
+/// differs — use [`read_tensor_header`] to dispatch).
+pub fn read_tensor<T: IoScalar>(path: impl AsRef<Path>) -> io::Result<Tensor<T>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let header = read_header(&mut r)?;
+    let want = match header.precision {
+        StoredPrecision::Single => 4,
+        StoredPrecision::Double => 8,
+    };
+    if want != T::TAG {
+        return Err(bad("file precision does not match the requested scalar type"));
+    }
+    let total: usize = header.dims.iter().product();
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(T::read_le(&mut r)?);
+    }
+    Ok(Tensor::from_data(&header.dims, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tucker_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let x = Tensor::<f64>::from_fn(&[3, 4, 2], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64 + 0.5);
+        let p = tmp("a.tns");
+        write_tensor(&p, &x).unwrap();
+        let y: Tensor<f64> = read_tensor(&p).unwrap();
+        assert_eq!(x, y);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        let x = Tensor::<f32>::from_fn(&[5, 2], |i| (i[0] as f32) - 0.25 * i[1] as f32);
+        let p = tmp("b.tns");
+        write_tensor(&p, &x).unwrap();
+        let hdr = read_tensor_header(&p).unwrap();
+        assert_eq!(hdr.precision, StoredPrecision::Single);
+        assert_eq!(hdr.dims, vec![5, 2]);
+        let y: Tensor<f32> = read_tensor(&p).unwrap();
+        assert_eq!(x, y);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn precision_mismatch_rejected() {
+        let x = Tensor::<f32>::zeros(&[2, 2]);
+        let p = tmp("c.tns");
+        write_tensor(&p, &x).unwrap();
+        assert!(read_tensor::<f64>(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let p = tmp("d.tns");
+        std::fs::write(&p, b"not a tensor at all").unwrap();
+        assert!(read_tensor::<f64>(&p).is_err());
+        assert!(read_tensor_header(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn scalar_tensor_roundtrip() {
+        let x = Tensor::<f64>::from_fn(&[], |_| 42.0);
+        let p = tmp("e.tns");
+        write_tensor(&p, &x).unwrap();
+        let y: Tensor<f64> = read_tensor(&p).unwrap();
+        assert_eq!(y.len(), 1);
+        assert_eq!(y.data()[0], 42.0);
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,186 @@
+//! Zero-copy unfolding views.
+//!
+//! The mode-`n` unfolding of a first-mode-fastest tensor is an
+//! `I_n x I_n^< I_n^>` matrix stored as `I_n^>` contiguous row-major column
+//! blocks of shape `I_n x I_n^<` (paper §3.3). Mode 0 degenerates to one
+//! column-major matrix, mode N-1 to one row-major matrix — the two cases the
+//! paper's Alg. 2 fast-paths with direct `gelq`/`geqr` calls.
+
+use crate::dense::Tensor;
+use crate::dims::{prod_after, prod_before};
+use tucker_linalg::{MatRef, Scalar};
+
+/// View of the mode-`n` unfolding of a tensor.
+#[derive(Clone, Copy)]
+pub struct Unfolding<'a, T> {
+    data: &'a [T],
+    rows: usize,
+    before: usize,
+    after: usize,
+}
+
+impl<'a, T: Scalar> Unfolding<'a, T> {
+    /// Unfold `x` along mode `n`.
+    pub fn new(x: &'a Tensor<T>, n: usize) -> Self {
+        assert!(n < x.ndims(), "unfold: mode out of range");
+        Unfolding {
+            data: x.data(),
+            rows: x.dims()[n],
+            before: prod_before(x.dims(), n),
+            after: prod_after(x.dims(), n),
+        }
+    }
+
+    /// Rows of the unfolding (`I_n`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Total columns (`I_n^< · I_n^>`).
+    pub fn cols(&self) -> usize {
+        self.before * self.after
+    }
+    /// Number of row-major column blocks (`I_n^>`).
+    pub fn num_blocks(&self) -> usize {
+        self.after
+    }
+    /// Columns per block (`I_n^<`).
+    pub fn block_cols(&self) -> usize {
+        self.before
+    }
+
+    /// Block `j` as a row-major `I_n x I_n^<` view.
+    pub fn block(&self, j: usize) -> MatRef<'a, T> {
+        assert!(j < self.after, "unfold: block out of range");
+        let blk = self.rows * self.before;
+        MatRef::row_major(&self.data[j * blk..(j + 1) * blk], self.rows, self.before)
+    }
+
+    /// Iterator over all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = MatRef<'a, T>> + '_ {
+        (0..self.after).map(move |j| self.block(j))
+    }
+
+    /// The whole unfolding as a single strided view, when one exists:
+    /// mode 0 (column-major) or a single-block mode (row-major).
+    pub fn whole(&self) -> Option<MatRef<'a, T>> {
+        if self.before == 1 {
+            // Mode 0: column-major I_n x I_n^>.
+            Some(MatRef::col_major(self.data, self.rows, self.after))
+        } else if self.after == 1 {
+            // Last (or only) block: row-major I_n x I_n^<.
+            Some(MatRef::row_major(self.data, self.rows, self.before))
+        } else {
+            None
+        }
+    }
+
+    /// Element `(i, c)` of the unfolding (test/reference use).
+    pub fn get(&self, i: usize, c: usize) -> T {
+        let within = c % self.before;
+        let blk = c / self.before;
+        self.data[blk * self.rows * self.before + i * self.before + within]
+    }
+
+    /// Copy the unfolding into an owned column-major matrix (reference use).
+    pub fn to_matrix(&self) -> tucker_linalg::Matrix<T> {
+        tucker_linalg::Matrix::from_fn(self.rows(), self.cols(), |i, c| self.get(i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::unfold_col_index;
+
+    fn test_tensor() -> Tensor<f64> {
+        Tensor::from_fn(&[3, 4, 5], |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64)
+    }
+
+    #[test]
+    fn unfold_matches_definition_all_modes() {
+        // X_(n)[i_n, c] must equal X(i_0, ..., i_{N-1}) for the column c that
+        // encodes the remaining indices.
+        let x = test_tensor();
+        for n in 0..3 {
+            let u = Unfolding::new(&x, n);
+            assert_eq!(u.rows(), x.dims()[n]);
+            assert_eq!(u.cols(), 60 / x.dims()[n]);
+            for a in 0..3 {
+                for b in 0..4 {
+                    for c in 0..5 {
+                        let idx = [a, b, c];
+                        let col = unfold_col_index(x.dims(), n, &idx);
+                        assert_eq!(u.get(idx[n], col), x.get(&idx), "mode {n}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_row_major_views() {
+        let x = test_tensor();
+        let u = Unfolding::new(&x, 1);
+        assert_eq!(u.num_blocks(), 5);
+        assert_eq!(u.block_cols(), 3);
+        for j in 0..5 {
+            let b = u.block(j);
+            assert_eq!(b.rows(), 4);
+            assert_eq!(b.cols(), 3);
+            assert!(b.row_contiguous());
+            for i in 0..4 {
+                for w in 0..3 {
+                    assert_eq!(b.get(i, w), u.get(i, j * 3 + w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode0_is_column_major_whole() {
+        let x = test_tensor();
+        let u = Unfolding::new(&x, 0);
+        let w = u.whole().expect("mode 0 has a whole view");
+        assert!(w.col_contiguous());
+        assert_eq!(w.rows(), 3);
+        assert_eq!(w.cols(), 20);
+        for i in 0..3 {
+            for c in 0..20 {
+                assert_eq!(w.get(i, c), u.get(i, c));
+            }
+        }
+    }
+
+    #[test]
+    fn last_mode_is_row_major_whole() {
+        let x = test_tensor();
+        let u = Unfolding::new(&x, 2);
+        let w = u.whole().expect("last mode has a whole view");
+        assert!(w.row_contiguous());
+        assert_eq!(w.rows(), 5);
+        assert_eq!(w.cols(), 12);
+        for i in 0..5 {
+            for c in 0..12 {
+                assert_eq!(w.get(i, c), u.get(i, c));
+            }
+        }
+    }
+
+    #[test]
+    fn middle_mode_has_no_whole_view() {
+        let x = test_tensor();
+        assert!(Unfolding::new(&x, 1).whole().is_none());
+    }
+
+    #[test]
+    fn to_matrix_is_consistent() {
+        let x = test_tensor();
+        let u = Unfolding::new(&x, 1);
+        let m = u.to_matrix();
+        for i in 0..4 {
+            for c in 0..15 {
+                assert_eq!(m[(i, c)], u.get(i, c));
+            }
+        }
+    }
+}

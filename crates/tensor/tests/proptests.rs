@@ -1,0 +1,118 @@
+//! Property-based tests of the tensor layer: unfolding and TTM identities
+//! for arbitrary shapes.
+
+use proptest::prelude::*;
+use tucker_linalg::gemm::matmul;
+use tucker_linalg::Matrix;
+use tucker_tensor::{prod_after, prod_before, ttm, Tensor, Unfolding};
+
+fn tensor_strategy() -> impl Strategy<Value = Tensor<f64>> {
+    (proptest::collection::vec(1usize..6, 2..5), any::<u64>()).prop_map(|(dims, seed)| {
+        let mut state = seed | 1;
+        Tensor::from_fn(&dims, |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    })
+}
+
+fn small_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unfold_block_structure(x in tensor_strategy(), nsel in any::<usize>()) {
+        let n = nsel % x.ndims();
+        let u = Unfolding::new(&x, n);
+        prop_assert_eq!(u.rows(), x.dims()[n]);
+        prop_assert_eq!(u.cols(), x.len() / x.dims()[n]);
+        prop_assert_eq!(u.num_blocks(), prod_after(x.dims(), n));
+        prop_assert_eq!(u.block_cols(), prod_before(x.dims(), n));
+        // Every element reachable two ways.
+        for i in 0..u.rows() {
+            for c in 0..u.cols() {
+                let blk = c / u.block_cols();
+                let w = c % u.block_cols();
+                prop_assert_eq!(u.get(i, c), u.block(blk).get(i, w));
+            }
+        }
+    }
+
+    #[test]
+    fn unfold_norm_matches_tensor(x in tensor_strategy(), nsel in any::<usize>()) {
+        let n = nsel % x.ndims();
+        let m = Unfolding::new(&x, n).to_matrix();
+        prop_assert!((m.frob_norm() - x.norm()).abs() < 1e-10 * x.norm().max(1.0));
+    }
+
+    #[test]
+    fn ttm_identity_is_noop(x in tensor_strategy(), nsel in any::<usize>()) {
+        let n = nsel % x.ndims();
+        let id = Matrix::<f64>::identity(x.dims()[n]);
+        let y = ttm(&x, n, id.as_ref(), false);
+        prop_assert!(y.max_abs_diff(&x) < 1e-14);
+    }
+
+    #[test]
+    fn ttm_composes(x in tensor_strategy(), nsel in any::<usize>(), seed in any::<u64>()) {
+        // (X ×_n A) ×_n B  =  X ×_n (B·A)
+        let n = nsel % x.ndims();
+        let d = x.dims()[n];
+        let a = small_matrix(3, d, seed);
+        let b = small_matrix(2, 3, seed ^ 0xABC);
+        let two_step = ttm(&ttm(&x, n, a.as_ref(), false), n, b.as_ref(), false);
+        let ba = matmul(&b, &a);
+        let one_step = ttm(&x, n, ba.as_ref(), false);
+        prop_assert!(two_step.max_abs_diff(&one_step) < 1e-11);
+    }
+
+    #[test]
+    fn ttm_commutes_across_modes(x in tensor_strategy(), seed in any::<u64>()) {
+        // X ×_m A ×_n B = X ×_n B ×_m A for m != n.
+        if x.ndims() < 2 {
+            return Ok(());
+        }
+        let m = 0;
+        let n = x.ndims() - 1;
+        let a = small_matrix(2, x.dims()[m], seed);
+        let b = small_matrix(2, x.dims()[n], seed ^ 0x123);
+        let mn = ttm(&ttm(&x, m, a.as_ref(), false), n, b.as_ref(), false);
+        let nm = ttm(&ttm(&x, n, b.as_ref(), false), m, a.as_ref(), false);
+        prop_assert!(mn.max_abs_diff(&nm) < 1e-11);
+    }
+
+    #[test]
+    fn ttm_matches_unfolded_gemm(x in tensor_strategy(), nsel in any::<usize>(), seed in any::<u64>()) {
+        let n = nsel % x.ndims();
+        let r = 2;
+        let u = small_matrix(r, x.dims()[n], seed);
+        let y = ttm(&x, n, u.as_ref(), false);
+        let yu = Unfolding::new(&y, n).to_matrix();
+        let want = matmul(&u, &Unfolding::new(&x, n).to_matrix());
+        prop_assert!(yu.max_abs_diff(&want) < 1e-11);
+    }
+
+    #[test]
+    fn norm_scale_invariance(x in tensor_strategy(), scale in 1e-3f64..1e3) {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v *= scale;
+        }
+        prop_assert!((y.norm() - scale * x.norm()).abs() < 1e-9 * y.norm().max(1e-12));
+    }
+
+    #[test]
+    fn cast_roundtrip_error_bounded(x in tensor_strategy()) {
+        let x32: Tensor<f32> = x.cast();
+        let back: Tensor<f64> = x32.cast();
+        // Entries are O(1): absolute error bounded by f32 eps scale.
+        prop_assert!(x.max_abs_diff(&back) < 1e-6);
+    }
+}

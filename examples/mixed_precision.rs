@@ -1,0 +1,38 @@
+//! Mixed-precision Gram-SVD (the paper's §5 future work) in action:
+//! single-precision data, double-precision Gram accumulation.
+//!
+//! ```sh
+//! cargo run --release --example mixed_precision
+//! ```
+
+use tucker_rs::core::{sthosvd, SthosvdConfig, SvdMethod};
+use tucker_rs::data::hcci_surrogate;
+use tucker_rs::tensor::Tensor;
+
+fn main() {
+    let dims = [24usize, 24, 12, 24];
+    let x64 = hcci_surrogate::<f64>(&dims, 3);
+    let x32: Tensor<f32> = x64.cast();
+    let eps = 1e-4; // below Gram-single's sqrt(eps_s) floor, above eps_s
+
+    println!("HCCI-like {dims:?} in single precision, tolerance {eps:.0e}\n");
+    for (label, method) in [
+        ("Gram single (plain)", SvdMethod::Gram),
+        ("QR single", SvdMethod::Qr),
+        ("Gram mixed (f32 data, f64 Gram)", SvdMethod::GramMixed),
+    ] {
+        let cfg = SthosvdConfig::with_tolerance(eps).method(method);
+        let tk = sthosvd(&x32, &cfg).expect("sthosvd failed");
+        let recon: Tensor<f64> = tk.reconstruct().cast();
+        let err = x64.relative_error_to(&recon);
+        println!(
+            "{label:32}  ranks {:?}  compression {:7.1}x  error {err:.2e}",
+            tk.ranks(),
+            tk.compression_ratio()
+        );
+    }
+    println!("\nplain Gram-single cannot see below sqrt(eps_f32) ~ 3e-4, so it");
+    println!("barely compresses; accumulating the Gram matrix in f64 removes the");
+    println!("squaring loss and recovers QR-single's result — at Gram's structure");
+    println!("(one syrk pass + small EVD, no LQ), confirming the paper's conjecture.");
+}

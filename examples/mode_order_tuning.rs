@@ -1,0 +1,53 @@
+//! Mode-order tuning with the §3.5 cost model (paper §4.2.3: "if all
+//! dimensions and reduced ranks are known ... the modes can be ordered to
+//! minimize computation").
+//!
+//! ```sh
+//! cargo run --release --example mode_order_tuning
+//! ```
+
+use tucker_rs::core::model::{predict, ModelConfig};
+use tucker_rs::core::{optimize_mode_order, ModeOrder, OrderSearch, SvdMethod};
+use tucker_rs::mpisim::CostModel;
+
+fn main() {
+    // An anisotropic problem: one long mode that truncates hard, three that
+    // barely truncate.
+    let dims = [512usize, 48, 48, 48];
+    let ranks = [4usize, 24, 24, 24];
+    let grid = [8usize, 2, 1, 1];
+    println!("dims {dims:?} -> ranks {ranks:?} on grid {grid:?}, QR-SVD double\n");
+
+    let eval = |order: Vec<usize>| {
+        predict(&ModelConfig {
+            dims: dims.to_vec(),
+            ranks: ranks.to_vec(),
+            grid: grid.to_vec(),
+            order,
+            method: SvdMethod::Qr,
+            bytes: 8,
+            cost: CostModel::andes(),
+        })
+        .total
+    };
+
+    println!("forward  order [0,1,2,3]: modeled {:.3}s", eval(vec![0, 1, 2, 3]));
+    println!("backward order [3,2,1,0]: modeled {:.3}s", eval(vec![3, 2, 1, 0]));
+
+    for search in [OrderSearch::Greedy, OrderSearch::Exhaustive] {
+        let (order, t) = optimize_mode_order(
+            &dims,
+            &ranks,
+            &grid,
+            SvdMethod::Qr,
+            8,
+            CostModel::andes(),
+            search,
+        );
+        let ModeOrder::Custom(o) = &order else { unreachable!() };
+        println!("{search:?} search -> order {o:?}: modeled {t:.3}s");
+    }
+    println!("\nthe paper only compares forward/backward because its ranks are");
+    println!("tolerance-driven (unknown a priori); with known ranks the cost");
+    println!("model finds the cheaper orders automatically.");
+}

@@ -1,0 +1,38 @@
+//! Quickstart: compress a combustion-like tensor with ST-HOSVD.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tucker_rs::core::{sthosvd_with_info, SthosvdConfig, SvdMethod};
+use tucker_rs::data::hcci_surrogate;
+
+fn main() {
+    // A small tensor shaped like the paper's HCCI combustion dataset
+    // (two spatial modes, a variable mode, a time mode) with realistically
+    // decaying per-mode spectra.
+    let dims = [30usize, 30, 16, 30];
+    println!("generating a {dims:?} combustion-like tensor ...");
+    let x = hcci_surrogate::<f64>(&dims, 42);
+
+    // Compress to relative error 1e-3 using the numerically accurate QR-SVD.
+    let cfg = SthosvdConfig::with_tolerance(1e-3).method(SvdMethod::Qr);
+    let out = sthosvd_with_info(&x, &cfg).expect("ST-HOSVD failed");
+
+    let tk = &out.tucker;
+    println!("multilinear ranks : {:?}", tk.ranks());
+    println!("compression ratio : {:.1}x", tk.compression_ratio());
+    println!("estimated error   : {:.3e}", out.estimated_error);
+    println!("exact error       : {:.3e}", tk.relative_error(&x));
+    assert!(tk.relative_error(&x) <= 1e-3);
+
+    // The factors are orthonormal bases for each mode.
+    for (n, u) in tk.factors.iter().enumerate() {
+        println!(
+            "factor U_{n}: {}x{} (orthonormality error {:.1e})",
+            u.rows(),
+            u.cols(),
+            u.orthonormality_error()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Gram-SVD vs QR-SVD accuracy on a graded matrix — a miniature of the
+//! paper's Fig. 1 experiment.
+//!
+//! ```sh
+//! cargo run --release --example svd_accuracy
+//! ```
+
+use tucker_rs::data::geometric_profile;
+use tucker_rs::linalg::{gram_svd, matrix_with_singular_values, qr_svd, Matrix, Scalar};
+
+fn series<T: Scalar>(a64: &Matrix<f64>, qr: bool) -> Vec<f64> {
+    let a = Matrix::<T>::from_fn(a64.rows(), a64.cols(), |i, j| T::from_f64(a64[(i, j)]));
+    let (_, s) = if qr { qr_svd(a.as_ref()).unwrap() } else { gram_svd(a.as_ref()).unwrap() };
+    s.iter().map(|v| v.to_f64()).collect()
+}
+
+fn main() {
+    // 40x40 matrix, singular values decaying geometrically 1 .. 1e-12.
+    let truth = geometric_profile(40, 0.0, -12.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let a = matrix_with_singular_values::<f64, _>(&truth, 40, &mut rng);
+
+    let columns = [
+        ("QR double", series::<f64>(&a, true)),
+        ("QR single", series::<f32>(&a, true)),
+        ("Gram double", series::<f64>(&a, false)),
+        ("Gram single", series::<f32>(&a, false)),
+    ];
+
+    println!("{:>3} {:>10} {:>11} {:>11} {:>11} {:>11}", "i", "true", "QR-d", "QR-s", "Gram-d", "Gram-s");
+    for i in (0..40).step_by(3) {
+        print!("{i:>3} {:>10.1e}", truth[i]);
+        for (_, s) in &columns {
+            print!(" {:>11.2e}", s[i]);
+        }
+        println!();
+    }
+    println!();
+    for (name, s) in &columns {
+        let lost = truth.iter().zip(s).find(|(t, g)| (*g - **t).abs() / **t > 1.0);
+        match lost {
+            Some((t, _)) => println!("{name:>11}: loses accuracy near sigma ~ {t:.1e}"),
+            None => println!("{name:>11}: accurate over the full range"),
+        }
+    }
+    println!("\nexpected floors: Gram-s ~ sqrt(eps_s) = 3e-4, QR-s ~ eps_s = 1e-7,");
+    println!("Gram-d ~ sqrt(eps_d) = 1e-8, QR-d accurate to 1e-12 here.");
+}

@@ -1,0 +1,40 @@
+//! # tucker-rs
+//!
+//! A from-scratch Rust reproduction of *"Parallel Tucker Decomposition with
+//! Numerically Accurate SVD"* (Li, Fang, Ballard — ICPP 2021).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`linalg`] — precision-generic dense kernels (GEMM, SYRK, Householder
+//!   QR/LQ, `tplqt`, flat-tree TSLQ, bidiagonal SVD, symmetric eigensolver,
+//!   Gram-SVD, QR-SVD).
+//! * [`tensor`] — dense N-mode tensors, unfolding views, the TTM kernel.
+//! * [`mpisim`] — a simulated MPI runtime (ranks as threads) with collectives
+//!   and an α-β-γ cost model.
+//! * [`dtensor`] — block-distributed tensors: processor grids, fiber
+//!   redistribution, parallel Gram, parallel butterfly-TSQR LQ, parallel TTM.
+//! * [`core`] — the ST-HOSVD algorithm, sequential and parallel, with
+//!   Gram-SVD or QR-SVD in single or double precision.
+//! * [`data`] — synthetic workloads: prescribed-spectrum matrices/tensors and
+//!   surrogates for the paper's HCCI / SP / Video datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tucker_rs::core::{sthosvd, SthosvdConfig, SvdMethod};
+//! use tucker_rs::data::hcci_surrogate;
+//!
+//! // A small combustion-like tensor, compressed to relative error 1e-2.
+//! let x = hcci_surrogate::<f64>(&[20, 20, 8, 20], 42);
+//! let cfg = SthosvdConfig::with_tolerance(1e-2).method(SvdMethod::Qr);
+//! let tk = sthosvd(&x, &cfg).unwrap();
+//! assert!(tk.relative_error(&x) <= 1.01e-2);
+//! assert!(tk.compression_ratio() > 1.0);
+//! ```
+
+pub use tucker_core as core;
+pub use tucker_data as data;
+pub use tucker_dtensor as dtensor;
+pub use tucker_linalg as linalg;
+pub use tucker_mpisim as mpisim;
+pub use tucker_tensor as tensor;

@@ -1,0 +1,135 @@
+//! Consistency between the two cost accounts: the operation-by-operation
+//! charges of the simulated runtime and the closed-form §3.5 model must
+//! agree on the dominant terms.
+
+use tucker_rs::core::model::{predict, ModelConfig};
+use tucker_rs::core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_rs::data::hash_noise;
+use tucker_rs::dtensor::{DistTensor, ProcessorGrid};
+use tucker_rs::mpisim::{CostModel, Simulator};
+
+fn simulate(dims: &[usize], ranks: &[usize], grid: &[usize], method: SvdMethod) -> (f64, f64) {
+    let cfg = SthosvdConfig::with_ranks(ranks.to_vec())
+        .method(method)
+        .order(ModeOrder::Forward);
+    let g = ProcessorGrid::new(grid);
+    let p = g.total();
+    let d = dims.to_vec();
+    let out = Simulator::new(p).with_cost(CostModel::andes()).run(|ctx| {
+        let dt = DistTensor::from_fn(&d, &g, ctx.rank(), |gi| {
+            let mut lin = 0usize;
+            let mut stride = 1usize;
+            for (i, dd) in gi.iter().zip(&d) {
+                lin += i * stride;
+                stride *= dd;
+            }
+            hash_noise(1, lin)
+        });
+        sthosvd_parallel(ctx, &dt, &cfg).unwrap();
+    });
+    let b = out.breakdown();
+    (b.modeled_time, b.total_flops / p as f64)
+}
+
+fn model(dims: &[usize], ranks: &[usize], grid: &[usize], method: SvdMethod) -> (f64, f64) {
+    let m = predict(&ModelConfig {
+        dims: dims.to_vec(),
+        ranks: ranks.to_vec(),
+        grid: grid.to_vec(),
+        order: (0..dims.len()).collect(),
+        method,
+        bytes: 8,
+        cost: CostModel::andes(),
+    });
+    (m.total, m.flops_per_rank)
+}
+
+#[test]
+fn simulator_and_model_agree_on_flops() {
+    let dims = [16usize, 16, 16, 16];
+    let ranks = [4usize, 4, 4, 4];
+    for (grid, method) in [
+        (vec![1usize, 1, 1, 1], SvdMethod::Gram),
+        (vec![1, 1, 1, 1], SvdMethod::Qr),
+        (vec![2, 2, 1, 1], SvdMethod::Gram),
+        (vec![2, 2, 1, 1], SvdMethod::Qr),
+    ] {
+        let (_, sim_flops) = simulate(&dims, &ranks, &grid, method);
+        let (_, model_flops) = model(&dims, &ranks, &grid, method);
+        let ratio = sim_flops / model_flops;
+        assert!(
+            ratio > 0.6 && ratio < 1.7,
+            "{method:?} grid {grid:?}: sim {sim_flops:.2e} vs model {model_flops:.2e}"
+        );
+    }
+}
+
+#[test]
+fn simulator_and_model_agree_on_time_scale() {
+    let dims = [16usize, 16, 16, 16];
+    let ranks = [4usize, 4, 4, 4];
+    for method in [SvdMethod::Gram, SvdMethod::Qr] {
+        let (sim_t, _) = simulate(&dims, &ranks, &[2, 2, 1, 1], method);
+        let (model_t, _) = model(&dims, &ranks, &[2, 2, 1, 1], method);
+        let ratio = sim_t / model_t;
+        assert!(ratio > 0.4 && ratio < 2.5, "{method:?}: sim {sim_t:.2e}s vs model {model_t:.2e}s");
+    }
+}
+
+#[test]
+fn qr_charges_about_twice_gram() {
+    // §3.5: the QR path performs ~2x the flops of the Gram path in the
+    // dominant local factorization.
+    let dims = [20usize, 20, 20, 20];
+    let ranks = [2usize, 2, 2, 2];
+    let (_, gram_flops) = simulate(&dims, &ranks, &[1, 1, 1, 1], SvdMethod::Gram);
+    let (_, qr_flops) = simulate(&dims, &ranks, &[1, 1, 1, 1], SvdMethod::Qr);
+    let ratio = qr_flops / gram_flops;
+    assert!(ratio > 1.4 && ratio < 2.6, "flop ratio {ratio}");
+}
+
+#[test]
+fn model_crossover_qr_single_vs_gram_double() {
+    // The paper's performance headline ("QR in single precision is
+    // consistently faster than Gram in double, typically about 30%", §4.4),
+    // as a model property across the Table 1 strong-scaling configurations.
+    // The paper's own §3.5 predicts QR losing ground in the latency-bound
+    // regime; at 2048 cores we only require it to stay within 30%.
+    for (cores, qr_grid, gram_grid) in [
+        (32usize, vec![4usize, 4, 2, 1], vec![1usize, 1, 2, 16]),
+        (128, vec![8, 8, 2, 1], vec![1, 1, 8, 16]),
+        (512, vec![16, 8, 4, 1], vec![1, 2, 16, 16]),
+        (1024, vec![16, 16, 4, 1], vec![1, 4, 16, 16]),
+        (2048, vec![32, 16, 4, 1], vec![1, 4, 16, 32]),
+    ] {
+        let qr_single = predict(&ModelConfig {
+            dims: vec![256; 4],
+            ranks: vec![32; 4],
+            grid: qr_grid,
+            order: vec![3, 2, 1, 0],
+            method: SvdMethod::Qr,
+            bytes: 4,
+            cost: CostModel::andes(),
+        });
+        let gram_double = predict(&ModelConfig {
+            dims: vec![256; 4],
+            ranks: vec![32; 4],
+            grid: gram_grid,
+            order: vec![0, 1, 2, 3],
+            method: SvdMethod::Gram,
+            bytes: 8,
+            cost: CostModel::andes(),
+        });
+        let speedup = gram_double.total / qr_single.total;
+        if cores <= 1024 {
+            assert!(
+                speedup > 1.0,
+                "{cores} cores: QR-s {} !< Gram-d {}",
+                qr_single.total,
+                gram_double.total
+            );
+        } else {
+            assert!(speedup > 0.7, "{cores} cores: speedup collapsed to {speedup}");
+        }
+    }
+}

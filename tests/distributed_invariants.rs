@@ -1,0 +1,123 @@
+//! Property-based tests of the distributed layer: for random tensor shapes,
+//! processor grids and modes, the parallel kernels must reproduce their
+//! sequential references exactly (up to roundoff).
+
+use proptest::prelude::*;
+use tucker_rs::dtensor::{
+    parallel_gram, parallel_tensor_lq, parallel_ttm, DistTensor, ProcessorGrid, ReductionTree,
+};
+use tucker_rs::linalg::tslq::TslqOptions;
+use tucker_rs::linalg::{gemm_into, syrk_lower, Matrix, Trans};
+use tucker_rs::mpisim::{Comm, CostModel, Simulator};
+use tucker_rs::tensor::{ttm, Tensor, Unfolding};
+
+/// Strategy: (dims, grid) with 3 modes, small sizes, grid dividing nothing in
+/// particular (uneven division exercised on purpose), plus a mode index.
+fn shapes() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, usize)> {
+    (
+        proptest::collection::vec(2usize..7, 3),
+        proptest::collection::vec(1usize..4, 3),
+        0usize..3,
+    )
+        .prop_filter("grid no larger than dims per mode", |(dims, grid, _)| {
+            dims.iter().zip(grid).all(|(d, g)| g <= d) && grid.iter().product::<usize>() <= 12
+        })
+}
+
+fn test_tensor(dims: &[usize], seed: u64) -> Tensor<f64> {
+    let mut lin = 0usize;
+    Tensor::from_fn(dims, |_| {
+        lin += 1;
+        tucker_rs::data::hash_noise(seed, lin)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scatter_gather_roundtrip((dims, grid, _) in shapes()) {
+        let x = test_tensor(&dims, 1);
+        let g = ProcessorGrid::new(&grid);
+        let p = g.total();
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
+            let mut world = Comm::world(ctx);
+            dt.gather(ctx, &mut world)
+        });
+        for got in out.results {
+            prop_assert_eq!(&got, &x);
+        }
+    }
+
+    #[test]
+    fn parallel_gram_matches_sequential((dims, grid, n) in shapes()) {
+        let x = test_tensor(&dims, 2);
+        let g = ProcessorGrid::new(&grid);
+        let p = g.total();
+        let want = syrk_lower(Unfolding::new(&x, n).to_matrix().as_ref());
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
+            let mut world = Comm::world(ctx);
+            parallel_gram(ctx, &mut world, &dt, n)
+        });
+        for got in out.results {
+            prop_assert!(got.max_abs_diff(&want) < 1e-10 * want.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_lq_satisfies_gram_invariant((dims, grid, n) in shapes()) {
+        let x = test_tensor(&dims, 3);
+        let g = ProcessorGrid::new(&grid);
+        let p = g.total();
+        let want = syrk_lower(Unfolding::new(&x, n).to_matrix().as_ref());
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
+            let mut world = Comm::world(ctx);
+            parallel_tensor_lq(ctx, &mut world, &dt, n, ReductionTree::Butterfly, TslqOptions::default())
+        });
+        let l0 = &out.results[0];
+        for l in &out.results {
+            // Identical on all ranks (bitwise, required for SPMD rank choices).
+            prop_assert_eq!(l, l0);
+            let llt = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+            prop_assert!(llt.max_abs_diff(&want) < 1e-9 * want.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parallel_ttm_matches_sequential((dims, grid, n) in shapes()) {
+        let x = test_tensor(&dims, 4);
+        let g = ProcessorGrid::new(&grid);
+        let p = g.total();
+        let r = (dims[n] + 1) / 2;
+        let u = Matrix::from_fn(dims[n], r, |i, j| ((i * 3 + j * 5) as f64 * 0.31).sin());
+        let want = ttm(&x, n, u.as_ref(), true);
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
+            let y = parallel_ttm(ctx, &dt, n, &u);
+            let mut world = Comm::world(ctx);
+            y.gather(ctx, &mut world)
+        });
+        for got in out.results {
+            prop_assert!(got.max_abs_diff(&want) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn distributed_norm_matches((dims, grid, _) in shapes()) {
+        let x = test_tensor(&dims, 5);
+        let g = ProcessorGrid::new(&grid);
+        let p = g.total();
+        let want = x.norm();
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
+            let mut world = Comm::world(ctx);
+            dt.norm(ctx, &mut world)
+        });
+        for got in out.results {
+            prop_assert!((got - want).abs() < 1e-11 * want.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: sequential and parallel ST-HOSVD must agree with
+//! each other and with the tolerance contract, for every (method × precision)
+//! variant and a variety of processor grids.
+
+use tucker_rs::core::{
+    sthosvd_parallel, sthosvd_with_info, ModeOrder, SthosvdConfig, SvdMethod,
+};
+use tucker_rs::data::{hcci_surrogate, superdiagonal_tensor};
+use tucker_rs::dtensor::{DistTensor, ProcessorGrid, ReductionTree};
+use tucker_rs::linalg::Scalar;
+use tucker_rs::mpisim::{Comm, CostModel, Simulator};
+use tucker_rs::tensor::Tensor;
+
+fn parallel_run<T: Scalar>(
+    x: &Tensor<T>,
+    grid_dims: &[usize],
+    cfg: &SthosvdConfig,
+) -> (Vec<usize>, Tensor<T>) {
+    let grid = ProcessorGrid::new(grid_dims);
+    let p = grid.total();
+    let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+        let dt = DistTensor::scatter_from(x, &grid, ctx.rank());
+        let r = sthosvd_parallel(ctx, &dt, cfg).unwrap();
+        let mut world = Comm::world(ctx);
+        let tk = r.to_tucker(ctx, &mut world);
+        (r.ranks(), tk.reconstruct())
+    });
+    out.results.into_iter().next().unwrap()
+}
+
+#[test]
+fn sequential_and_parallel_agree_all_variants() {
+    let x64 = hcci_surrogate::<f64>(&[16, 16, 9, 12], 1);
+    let x32: Tensor<f32> = x64.cast();
+    for method in [SvdMethod::Gram, SvdMethod::Qr] {
+        let cfg = SthosvdConfig::with_tolerance(1e-2).method(method).order(ModeOrder::Backward);
+        // f64
+        let seq = sthosvd_with_info(&x64, &cfg).unwrap();
+        let (ranks, recon) = parallel_run(&x64, &[2, 2, 1, 1], &cfg);
+        assert_eq!(ranks, seq.tucker.ranks(), "{method:?} f64 rank mismatch");
+        let seq_err = seq.tucker.relative_error(&x64);
+        let par_err = x64.relative_error_to(&recon);
+        assert!((seq_err - par_err).abs() < 1e-8, "{method:?} f64 error mismatch");
+        // f32
+        let seq = sthosvd_with_info(&x32, &cfg).unwrap();
+        let (ranks, recon) = parallel_run(&x32, &[2, 2, 1, 1], &cfg);
+        assert_eq!(ranks, seq.tucker.ranks(), "{method:?} f32 rank mismatch");
+        let par_err = x32.relative_error_to(&recon);
+        assert!(par_err <= 1.2e-2, "{method:?} f32 par error {par_err}");
+    }
+}
+
+#[test]
+fn every_grid_shape_gives_same_ranks() {
+    let x = hcci_surrogate::<f64>(&[12, 12, 8, 12], 2);
+    let cfg = SthosvdConfig::with_tolerance(1e-3);
+    let reference = sthosvd_with_info(&x, &cfg).unwrap().tucker.ranks();
+    for grid in [vec![1, 1, 1, 1], vec![4, 1, 1, 1], vec![1, 2, 2, 1], vec![2, 1, 1, 3], vec![2, 2, 2, 1]] {
+        let (ranks, recon) = parallel_run(&x, &grid, &cfg);
+        assert_eq!(ranks, reference, "grid {grid:?}");
+        assert!(x.relative_error_to(&recon) <= 1.05e-3, "grid {grid:?}");
+    }
+}
+
+#[test]
+fn both_reduction_trees_agree() {
+    let x = hcci_surrogate::<f64>(&[12, 10, 8, 10], 3);
+    for tree in [ReductionTree::Butterfly, ReductionTree::Binomial] {
+        let cfg = SthosvdConfig::with_tolerance(1e-3).tree(tree);
+        let (ranks, recon) = parallel_run(&x, &[3, 2, 1, 1], &cfg);
+        assert!(x.relative_error_to(&recon) <= 1.05e-3, "{tree:?}");
+        assert!(!ranks.is_empty());
+    }
+}
+
+#[test]
+fn error_guarantee_across_tolerances() {
+    let x = hcci_surrogate::<f64>(&[14, 14, 9, 14], 4);
+    for eps in [1e-1, 1e-2, 1e-3, 1e-5] {
+        let cfg = SthosvdConfig::with_tolerance(eps).method(SvdMethod::Qr);
+        let out = sthosvd_with_info(&x, &cfg).unwrap();
+        let err = out.tucker.relative_error(&x).to_f64();
+        assert!(err <= eps * 1.01, "eps={eps}: err {err}");
+        // Tolerance monotonicity: tighter eps never compresses more.
+        assert!(out.tucker.compression_ratio() >= 1.0);
+    }
+}
+
+#[test]
+fn exact_multilinear_rank_recovery_distributed() {
+    // Superdiagonal tensor of exact rank 3 in every mode.
+    let x = superdiagonal_tensor::<f64>(&[9, 8, 10], &[1.0, 0.5, 0.25], Some(7));
+    let cfg = SthosvdConfig::with_tolerance(1e-10).method(SvdMethod::Qr);
+    let (ranks, recon) = parallel_run(&x, &[2, 2, 2], &cfg);
+    assert_eq!(ranks, vec![3, 3, 3]);
+    assert!(x.relative_error_to(&recon) < 1e-10);
+}
+
+#[test]
+fn fixed_rank_path_matches_between_seq_and_par() {
+    let x = hcci_surrogate::<f64>(&[12, 12, 6, 10], 5);
+    let cfg = SthosvdConfig::with_ranks(vec![4, 3, 2, 5]).order(ModeOrder::Backward);
+    let seq = sthosvd_with_info(&x, &cfg).unwrap();
+    let (ranks, recon) = parallel_run(&x, &[2, 1, 2, 1], &cfg);
+    assert_eq!(ranks, vec![4, 3, 2, 5]);
+    let d = seq.tucker.reconstruct().relative_error_to(&recon).to_f64();
+    assert!(d < 1e-10, "reconstructions differ by {d}");
+}
