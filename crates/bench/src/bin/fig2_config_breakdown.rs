@@ -12,14 +12,14 @@
 //! * for each ordering, the fastest grid sets the first-processed mode's
 //!   grid dimension to 1 (no redistribution for the dominant LQ).
 
-use tucker_bench::{write_csv, Table};
+use tucker_bench::{write_csv, BenchTracer, Table};
 use tucker_core::model::{predict, ModelConfig};
 use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_mpisim::{CostModel, Simulator};
 use tucker_tensor::Tensor;
 
-fn measured_sweep() {
+fn measured_sweep(tracer: &BenchTracer) {
     let dims = [32usize, 32, 32, 32];
     let ranks = vec![3usize, 3, 3, 3];
     println!("--- measured (simulated 16 ranks): {dims:?} -> {ranks:?} ---\n");
@@ -36,7 +36,8 @@ fn measured_sweep() {
             let cfg = SthosvdConfig::with_ranks(ranks.clone())
                 .method(SvdMethod::Qr)
                 .order(order.clone());
-            let out = Simulator::new(16).with_cost(CostModel::andes()).run(|ctx| {
+            let sim = tracer.apply(Simulator::new(16).with_cost(CostModel::andes()));
+            let out = sim.run(|ctx| {
                 let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&grid), ctx.rank());
                 sthosvd_parallel(ctx, &dt, &cfg).unwrap();
             });
@@ -52,6 +53,11 @@ fn measured_sweep() {
                 ModeOrder::Forward => "forward",
                 _ => "backward",
             };
+            let grid_tag: Vec<String> = grid.iter().map(|d| d.to_string()).collect();
+            tracer.export(&format!("fig2_{label}_{}", grid_tag.join("x")), &out.traces);
+            if tracer.enabled() {
+                println!("{}", b.critical_path_report());
+            }
             println!(
                 "{label:8} grid {grid:?}: total {:.4}s  first-LQ {:.4}s  (LQ {:.4}  SVD {:.4}  TTM {:.4})",
                 b.modeled_time,
@@ -116,6 +122,6 @@ fn modeled_sweep() {
 }
 
 fn main() {
-    measured_sweep();
+    measured_sweep(&BenchTracer::from_env_args());
     modeled_sweep();
 }

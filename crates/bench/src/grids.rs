@@ -20,6 +20,11 @@ pub fn table1_grid(cores: usize) -> Option<([usize; 4], [usize; 4])> {
 /// QR grids are front-loaded and keep the last mode at 1 (backward ordering
 /// benefits, §4.2), Gram grids are back-loaded (as the paper suggests for
 /// forward ordering).
+///
+/// The power-of-two counts keep their hand-tuned paper-style grids; any
+/// other rank count gets a balanced factorization over the first three
+/// modes (see [`balanced_grid`]), so arbitrary `--ranks` sweeps (e.g. 6, 12,
+/// 24) no longer abort.
 pub fn strong_scaling_grids(ranks: usize) -> ([usize; 4], [usize; 4]) {
     match ranks {
         1 => ([1, 1, 1, 1], [1, 1, 1, 1]),
@@ -28,8 +33,47 @@ pub fn strong_scaling_grids(ranks: usize) -> ([usize; 4], [usize; 4]) {
         8 => ([4, 2, 1, 1], [1, 1, 2, 4]),
         16 => ([4, 4, 1, 1], [1, 1, 4, 4]),
         32 => ([8, 4, 1, 1], [1, 2, 4, 4]),
-        _ => panic!("unsupported simulated rank count {ranks}"),
+        p => {
+            let qr = balanced_grid(p, 3);
+            let qr = [qr[0], qr[1], qr[2], 1];
+            let gram = [qr[3], qr[2], qr[1], qr[0]];
+            (qr, gram)
+        }
     }
+}
+
+/// Balanced factorization of `p` ranks over `nmodes` grid dimensions,
+/// descending: prime factors of `p` are assigned greedily, largest first, to
+/// the currently smallest dimension, then sorted descending. The product is
+/// always exactly `p`; a prime `p` degenerates to `[p, 1, ..]`, which is the
+/// only exact option.
+pub fn balanced_grid(p: usize, nmodes: usize) -> Vec<usize> {
+    assert!(p > 0, "need at least one rank");
+    assert!(nmodes > 0, "need at least one grid mode");
+    let mut dims = vec![1usize; nmodes];
+    for f in prime_factors_descending(p) {
+        let smallest = (0..nmodes).min_by_key(|&i| dims[i]).unwrap();
+        dims[smallest] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+fn prime_factors_descending(mut n: usize) -> Vec<usize> {
+    let mut fs = Vec::new();
+    let mut d = 2usize;
+    while d * d <= n {
+        while n.is_multiple_of(d) {
+            fs.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        fs.push(n);
+    }
+    fs.reverse();
+    fs
 }
 
 /// Weak-scaling grid of the paper (§4.3) for scale factor `k`:
@@ -64,6 +108,40 @@ mod tests {
             assert_eq!(qr.iter().product::<usize>(), p);
             assert_eq!(gram.iter().product::<usize>(), p);
         }
+    }
+
+    #[test]
+    fn hand_tuned_grids_are_preserved() {
+        assert_eq!(strong_scaling_grids(8), ([4, 2, 1, 1], [1, 1, 2, 4]));
+        assert_eq!(strong_scaling_grids(16), ([4, 4, 1, 1], [1, 1, 4, 4]));
+        assert_eq!(strong_scaling_grids(32), ([8, 4, 1, 1], [1, 2, 4, 4]));
+    }
+
+    #[test]
+    fn any_rank_count_up_to_64_factors_exactly() {
+        for p in 1..=64usize {
+            let (qr, gram) = strong_scaling_grids(p);
+            assert_eq!(qr.iter().product::<usize>(), p, "qr grid for p={p}");
+            assert_eq!(gram.iter().product::<usize>(), p, "gram grid for p={p}");
+            // QR keeps the last mode serial (geqr fast path, §4.2.1); Gram is
+            // the mirror image.
+            assert_eq!(qr[3], 1, "p={p}");
+            assert_eq!(gram[0], 1, "p={p}");
+            // Front-loaded descending / back-loaded ascending.
+            assert!(qr.windows(2).all(|w| w[0] >= w[1]), "qr not descending for p={p}: {qr:?}");
+            assert!(gram.windows(2).all(|w| w[0] <= w[1]), "gram not ascending for p={p}: {gram:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_factorization_is_balanced() {
+        assert_eq!(balanced_grid(12, 3), vec![3, 2, 2]);
+        assert_eq!(balanced_grid(24, 3), vec![4, 3, 2]);
+        assert_eq!(balanced_grid(36, 3), vec![4, 3, 3]);
+        assert_eq!(balanced_grid(64, 3), vec![4, 4, 4]);
+        // Primes degenerate to a line, the only exact factorization.
+        assert_eq!(balanced_grid(13, 3), vec![13, 1, 1]);
+        assert_eq!(balanced_grid(60, 4), vec![5, 3, 2, 2]);
     }
 
     #[test]

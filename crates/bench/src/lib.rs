@@ -7,8 +7,10 @@
 
 pub mod grids;
 pub mod report;
+pub mod tracing;
 pub mod variants;
 
-pub use grids::{strong_scaling_grids, table1_grid};
+pub use grids::{balanced_grid, strong_scaling_grids, table1_grid};
 pub use report::{write_csv, Table};
+pub use tracing::BenchTracer;
 pub use variants::{run_compression, run_variant, CompressionRow, Precision, Variant};

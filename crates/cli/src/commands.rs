@@ -3,9 +3,13 @@
 use crate::args::{parse_dims, Args};
 use std::time::Instant;
 use tucker_core::tucker_io::{read_tucker, write_tucker};
-use tucker_core::{sthosvd_with_info, ModeOrder, SthosvdConfig, SvdMethod, TuckerTensor};
+use tucker_core::{
+    sthosvd_parallel, sthosvd_with_info, ModeOrder, SthosvdConfig, SvdMethod, TuckerTensor,
+};
 use tucker_data::{hcci_surrogate, hash_noise, sp_surrogate, video_surrogate};
+use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_linalg::Scalar;
+use tucker_mpisim::{chrome_trace_json, text_timeline, CostModel, Simulator, TraceConfig};
 use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision};
 use tucker_tensor::Tensor;
 
@@ -16,6 +20,9 @@ usage:
   tucker compress <in.tns> <out.tkr> [--tol 1e-4 | --ranks 5x5x3x5]
                   [--method qr|gram|gram-mixed|randomized] [--order forward|backward]
   tucker decompress <in.tkr> <out.tns>
+  tucker simulate [in.tns] --grid 2x2x2 [--kind hcci|sp|video|random --dims 32x32x32 --seed N]
+                  [--tol 1e-4 | --ranks 5x5x5] [--method qr|gram|gram-mixed|randomized]
+                  [--order forward|backward] [--trace out.json] [--timeline out.txt] [--validate]
   tucker info <file.tns|file.tkr>
   tucker error <original.tns> <reconstruction.tns>
   tucker help";
@@ -26,6 +33,7 @@ pub fn run(a: &Args) -> Result<(), String> {
         "generate" => generate(a),
         "compress" => compress(a),
         "decompress" => decompress(a),
+        "simulate" => simulate(a),
         "info" => info(a),
         "error" => error_cmd(a),
         "help" => {
@@ -40,39 +48,45 @@ fn io_err(e: std::io::Error) -> String {
     e.to_string()
 }
 
-fn generate(a: &Args) -> Result<(), String> {
-    let out = a.pos(0, "out.tns")?;
-    let kind = a.opt("kind").unwrap_or("random");
-    let dims = parse_dims(a.opt("dims").ok_or("generate requires --dims")?)?;
-    let seed: u64 = a.opt("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
-    let x: Tensor<f64> = match kind {
+/// Build a synthetic tensor of the given kind (`generate` and file-less
+/// `simulate` share this).
+fn synthetic_tensor(kind: &str, dims: &[usize], seed: u64) -> Result<Tensor<f64>, String> {
+    match kind {
         "hcci" => {
             if dims.len() != 4 {
                 return Err("hcci needs 4 modes".into());
             }
-            hcci_surrogate(&dims, seed)
+            Ok(hcci_surrogate(dims, seed))
         }
         "sp" => {
             if dims.len() != 5 {
                 return Err("sp needs 5 modes".into());
             }
-            sp_surrogate(&dims, seed)
+            Ok(sp_surrogate(dims, seed))
         }
         "video" => {
             if dims.len() != 4 {
                 return Err("video needs 4 modes".into());
             }
-            video_surrogate(&dims, seed)
+            Ok(video_surrogate(dims, seed))
         }
         "random" => {
             let mut lin = 0usize;
-            Tensor::from_fn(&dims, |_| {
+            Ok(Tensor::from_fn(dims, |_| {
                 lin += 1;
                 hash_noise(seed, lin)
-            })
+            }))
         }
-        other => return Err(format!("unknown --kind '{other}'")),
-    };
+        other => Err(format!("unknown --kind '{other}'")),
+    }
+}
+
+fn generate(a: &Args) -> Result<(), String> {
+    let out = a.pos(0, "out.tns")?;
+    let kind = a.opt("kind").unwrap_or("random");
+    let dims = parse_dims(a.opt("dims").ok_or("generate requires --dims")?)?;
+    let seed: u64 = a.opt("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+    let x = synthetic_tensor(kind, &dims, seed)?;
     if a.flag("f32") {
         let x32: Tensor<f32> = x.cast();
         write_tensor(out, &x32).map_err(io_err)?;
@@ -154,6 +168,73 @@ fn decompress(a: &Args) -> Result<(), String> {
     let x = tk.reconstruct();
     write_tensor(output, &x).map_err(io_err)?;
     println!("reconstructed {:?} to {output}", x.dims());
+    Ok(())
+}
+
+/// Run a parallel ST-HOSVD on the simulated MPI runtime, optionally exporting
+/// a Chrome-trace JSON (`--trace`, loadable in Perfetto / `chrome://tracing`)
+/// and a per-rank text timeline (`--timeline`). `--validate` turns on the
+/// collective-sequence validator and the deadlock watchdog (see DESIGN.md
+/// §Observability).
+fn simulate(a: &Args) -> Result<(), String> {
+    let grid_dims = parse_dims(a.opt("grid").ok_or("simulate requires --grid")?)?;
+    let x: Tensor<f64> = if let Some(input) = a.positional.first() {
+        let hdr = read_tensor_header(input).map_err(io_err)?;
+        match hdr.precision {
+            StoredPrecision::Double => read_tensor(input).map_err(io_err)?,
+            StoredPrecision::Single => read_tensor::<f32>(input).map_err(io_err)?.cast(),
+        }
+    } else {
+        let dims = parse_dims(
+            a.opt("dims").ok_or("simulate needs an input file or --dims")?,
+        )?;
+        let seed: u64 = a.opt("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+        synthetic_tensor(a.opt("kind").unwrap_or("random"), &dims, seed)?
+    };
+    if grid_dims.len() != x.dims().len() {
+        return Err(format!(
+            "--grid has {} modes but the tensor has {}",
+            grid_dims.len(),
+            x.dims().len()
+        ));
+    }
+    let cfg = build_config(a)?;
+    let p: usize = grid_dims.iter().product();
+
+    let mut sim = Simulator::new(p).with_cost(CostModel::andes());
+    if a.opt("trace").is_some() || a.opt("timeline").is_some() || a.flag("validate") {
+        let tc = if a.flag("validate") { TraceConfig::validating() } else { TraceConfig::default() };
+        sim = sim.with_trace(tc);
+    }
+    let grid = ProcessorGrid::new(&grid_dims);
+    let out = sim
+        .run_result(|ctx| {
+            let dt = DistTensor::scatter_from(&x, &grid, ctx.rank());
+            let po = sthosvd_parallel(ctx, &dt, &cfg).map_err(|e| e.to_string())?;
+            Ok::<_, String>((po.ranks(), po.estimated_error))
+        })
+        .map_err(|e| e.to_string())?;
+    let (ranks, est_err) = &out.results[0];
+    // Export before printing the (long) report: a consumer that closes
+    // stdout early must not lose the trace files to a SIGPIPE.
+    if let Some(path) = a.opt("trace") {
+        std::fs::write(path, chrome_trace_json(&out.traces)).map_err(io_err)?;
+    }
+    if let Some(path) = a.opt("timeline") {
+        std::fs::write(path, text_timeline(&out.traces)).map_err(io_err)?;
+    }
+    println!(
+        "simulated {p} ranks on grid {grid_dims:?}: {:?} -> ranks {ranks:?}, estimated error {:.3e}",
+        x.dims(),
+        est_err
+    );
+    println!("{}", out.breakdown().critical_path_report());
+    if let Some(path) = a.opt("trace") {
+        println!("wrote Chrome trace for {} ranks to {path}", out.traces.len());
+    }
+    if let Some(path) = a.opt("timeline") {
+        println!("wrote text timeline to {path}");
+    }
     Ok(())
 }
 
@@ -293,6 +374,57 @@ mod tests {
         .unwrap());
         assert!(r.is_err(), "tolerance-driven randomized must be rejected");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_eight_ranks_emits_chrome_trace_with_phase_spans() {
+        let dir = tmpdir().join("sim8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("sim.trace.json").display().to_string();
+        let timeline = dir.join("sim.timeline.txt").display().to_string();
+        run(&parse(&toks(&format!(
+            "simulate --grid 2x2x2 --kind random --dims 16x16x16 --ranks 4x4x4 \
+             --method qr --trace {trace} --timeline {timeline} --validate"
+        )))
+        .unwrap())
+        .unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        // Perfetto-loadable: complete spans plus per-rank thread metadata.
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        for phase in ["LQ", "SVD", "TTM", "Redistribute"] {
+            assert!(json.contains(&format!("\"name\":\"{phase}")), "missing {phase} span");
+        }
+        let txt = std::fs::read_to_string(&timeline).unwrap();
+        assert!(txt.contains("rank 7"), "timeline should cover all 8 ranks");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_gram_method_traces_gram_phase() {
+        let dir = tmpdir().join("simgram");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("gram.trace.json").display().to_string();
+        run(&parse(&toks(&format!(
+            "simulate --grid 1x2x2 --kind random --dims 12x12x12 --tol 1e-2 \
+             --method gram --trace {trace}"
+        )))
+        .unwrap())
+        .unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.contains("\"name\":\"Gram"), "missing Gram span");
+        assert!(json.contains("\"name\":\"EVD"), "missing EVD span");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_rejects_grid_tensor_rank_mismatch() {
+        let r = run(&parse(&toks(
+            "simulate --grid 2x2 --kind random --dims 8x8x8 --ranks 2x2x2",
+        ))
+        .unwrap());
+        assert!(r.is_err());
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub fn hosvd<T: Scalar>(x: &Tensor<T>, cfg: &SthosvdConfig) -> Result<TuckerTens
     let _ = tails; // HOSVD's tail estimate is looser than ST-HOSVD's; callers
                    // use TuckerTensor::relative_error_via_core instead.
     let mut core = x.clone();
-    for n in 0..nmodes {
-        core = ttm(&core, n, factors[n].as_ref(), true);
+    for (n, f) in factors.iter().enumerate() {
+        core = ttm(&core, n, f.as_ref(), true);
     }
     Ok(TuckerTensor { core, factors })
 }

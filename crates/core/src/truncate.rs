@@ -88,7 +88,7 @@ mod tests {
         // Simulates Gram-single: true tail decays but computed values sit at
         // a noise floor of 1e-4 — a 1e-8 tolerance finds no valid cut.
         let mut s = vec![1.0f64];
-        s.extend(std::iter::repeat(1e-4).take(49));
+        s.extend(std::iter::repeat_n(1e-4, 49));
         let r = choose_rank(&s, 1e-16);
         assert_eq!(r, 50, "noise floor must force full rank");
     }

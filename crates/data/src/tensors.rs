@@ -99,6 +99,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // n is the tensor mode
     fn graded_tensor_follows_profile_shape() {
         let dims = [16usize, 12, 10];
         let profiles: Vec<Vec<f64>> = dims
@@ -112,7 +113,7 @@ mod tests {
             // Monotone decreasing by construction of the SVD.
             // Dynamic range: at least the nominal 6 orders, at most ~2x.
             let span = (s[0] / s[d - 1]).log10();
-            assert!(span >= 5.0 && span <= 13.0, "mode {n}: span {span:.1} orders");
+            assert!((5.0..=13.0).contains(&span), "mode {n}: span {span:.1} orders");
             // Decay is roughly log-linear: the midpoint is within a factor
             // ~1.7 of half the total span (no flat plateaus or cliffs).
             let mid = (s[0] / s[d / 2]).log10();

@@ -42,7 +42,8 @@ pub fn parallel_gram<T: Scalar>(
         syrk_lower(z.as_ref())
     };
 
-    let summed = world.allreduce_sum_vec(ctx, local_g.into_data());
+    let summed =
+        ctx.phase("Gram/allreduce", |c| world.allreduce_sum_vec(c, local_g.into_data()));
     Matrix::from_col_major(m, m, summed)
 }
 
@@ -77,7 +78,8 @@ pub fn parallel_gram_mixed<T: Scalar>(
         syrk_lower_f64_acc(z.as_ref())
     };
 
-    let summed = world.allreduce_sum_vec(ctx, local_g.into_data());
+    let summed =
+        ctx.phase("Gram/allreduce", |c| world.allreduce_sum_vec(c, local_g.into_data()));
     Matrix::from_col_major(m, m, summed)
 }
 

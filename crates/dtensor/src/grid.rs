@@ -98,7 +98,7 @@ mod tests {
     fn fibers_partition_the_grid() {
         let g = ProcessorGrid::new(&[2, 2, 3]);
         // Mode-2 fibers: 4 fibers of 3 ranks each, disjoint, covering all.
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for a in 0..2 {
             for b in 0..2 {
                 let f = g.fiber(&[a, b, 0], 2);

@@ -71,11 +71,12 @@ pub fn parallel_tensor_lq<T: Scalar>(
         lq_l_padded(zm.as_ref())
     };
 
-    // Reduction phase (Alg. 3 lines 10–18) over packed triangles.
-    match tree {
-        ReductionTree::Butterfly => butterfly_reduce(ctx, world, &mut l),
-        ReductionTree::Binomial => binomial_reduce(ctx, world, &mut l),
-    }
+    // Reduction phase (Alg. 3 lines 10–18) over packed triangles; its own
+    // sub-span so --trace separates it from the local LQ.
+    ctx.phase("LQ/reduce", |c| match tree {
+        ReductionTree::Butterfly => butterfly_reduce(c, world, &mut l),
+        ReductionTree::Binomial => binomial_reduce(c, world, &mut l),
+    });
     l
 }
 

@@ -40,33 +40,40 @@ pub fn redistribute_to_columns<T: Scalar>(
     let my_q = dt.coords()[n];
     let mut comm = Comm::subset(ctx, fiber);
 
-    // Pack one column-major bucket per destination fiber rank.
-    let mut sends: Vec<Vec<T>> = Vec::with_capacity(p_n);
-    for q in 0..p_n {
-        let cols = block_range(c_f, p_n, q);
-        let mut buf = Vec::with_capacity(b_n * cols.len());
-        for c in cols {
-            for i in 0..b_n {
-                buf.push(unf.get(i, c));
+    // Pack one column-major bucket per destination fiber rank. Sub-phase
+    // labels (slash-separated, distinct from the caller's outer
+    // "Redistribute" frame) show up as nested spans in --trace output.
+    let sends: Vec<Vec<T>> = ctx.phase("Redistribute/pack", |_c| {
+        let mut sends = Vec::with_capacity(p_n);
+        for q in 0..p_n {
+            let cols = block_range(c_f, p_n, q);
+            let mut buf = Vec::with_capacity(b_n * cols.len());
+            for c in cols {
+                for i in 0..b_n {
+                    buf.push(unf.get(i, c));
+                }
             }
+            sends.push(buf);
         }
-        sends.push(buf);
-    }
-    let received = comm.alltoallv(ctx, sends);
+        sends
+    });
+    let received = ctx.phase("Redistribute/exchange", |c| comm.alltoallv(c, sends));
 
     // Assemble my column stripe: all J_n rows of my column chunk.
-    let my_cols = block_range(c_f, p_n, my_q).len();
-    let mut z = Matrix::<T>::zeros(j_n, my_cols);
-    for (q, buf) in received.into_iter().enumerate() {
-        let rows = block_range(j_n, p_n, q);
-        let bq = rows.len();
-        assert_eq!(buf.len(), bq * my_cols, "redistribute: unexpected bucket size");
-        for c in 0..my_cols {
-            let col = z.col_mut(c);
-            col[rows.start..rows.end].copy_from_slice(&buf[c * bq..(c + 1) * bq]);
+    ctx.phase("Redistribute/unpack", |_c| {
+        let my_cols = block_range(c_f, p_n, my_q).len();
+        let mut z = Matrix::<T>::zeros(j_n, my_cols);
+        for (q, buf) in received.into_iter().enumerate() {
+            let rows = block_range(j_n, p_n, q);
+            let bq = rows.len();
+            assert_eq!(buf.len(), bq * my_cols, "redistribute: unexpected bucket size");
+            for c in 0..my_cols {
+                let col = z.col_mut(c);
+                col[rows.start..rows.end].copy_from_slice(&buf[c * bq..(c + 1) * bq]);
+            }
         }
-    }
-    z
+        z
+    })
 }
 
 #[cfg(test)]

@@ -54,8 +54,12 @@ pub fn parallel_ttm_op<T: Scalar>(
         u.as_ref().submatrix(0, my_rows.start, r, b_n)
     };
     let local_cols: f64 = (dt.local().len() / b_n.max(1)) as f64;
-    ctx.charge_flops(2.0 * r as f64 * b_n as f64 * local_cols, T::BYTES);
-    let partial = ttm(dt.local(), n, u_loc, transpose);
+    // Sub-phase spans (nested under the caller's "TTM" frame) separate the
+    // local multiply from the fiber reduce-scatter in --trace output.
+    let partial = ctx.phase("TTM/local", |c| {
+        c.charge_flops(2.0 * r as f64 * b_n as f64 * local_cols, T::BYTES);
+        ttm(dt.local(), n, u_loc, transpose)
+    });
 
     let mut new_global = dt.global_dims().to_vec();
     new_global[n] = r;
@@ -83,7 +87,7 @@ pub fn parallel_ttm_op<T: Scalar>(
     }
     let fiber = dt.grid().fiber(dt.coords(), n);
     let mut comm = Comm::subset(ctx, fiber);
-    let mine = comm.reduce_scatter_vec(ctx, chunks);
+    let mine = ctx.phase("TTM/reduce_scatter", |c| comm.reduce_scatter_vec(c, chunks));
 
     let my_new_rows = block_range(r, p_n, dt.coords()[n]).len();
     let mut new_local_dims = dt.local().dims().to_vec();
@@ -161,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // n is the tensor mode
     fn reconstruction_direction_matches_sequential() {
         // Y = X ×_n U with U (I x J): prolongation, as used by distributed
         // reconstruction.

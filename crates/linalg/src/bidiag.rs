@@ -153,7 +153,7 @@ mod tests {
         assert!(u.orthonormality_error() < tol, "U not orthonormal");
         assert!(v.orthonormality_error() < tol, "V not orthonormal");
         // A ≈ U B Vᵀ.
-        let b = bidiag_as_matrix(&bd.d, &bd.e, a0.rows().min(a0.cols() + 0).max(bd.d.len()));
+        let b = bidiag_as_matrix(&bd.d, &bd.e, a0.rows().min(a0.cols()).max(bd.d.len()));
         let b = Matrix::from_fn(u.cols(), v.rows(), |i, j| b[(i, j)]);
         let ub = matmul(&u, &b);
         let ubvt = gemm_into(ub.as_ref(), Trans::No, v.as_ref(), Trans::Yes);

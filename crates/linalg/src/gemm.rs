@@ -65,6 +65,9 @@ pub fn gemm<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T, c:
     }
 
     let mut bpack = vec![T::ZERO; KC * NC.min(n.max(1))];
+    // Keep the pack buffer on the heap: MC*KC elements is 256 KiB of f64,
+    // too large for a stack array even though the size is a constant.
+    #[allow(clippy::useless_vec)]
     let mut apack = vec![T::ZERO; MC * KC];
 
     let mut jc = 0;

@@ -1,3 +1,7 @@
+// Kernels are transcribed from LAPACK-style indexed pseudocode; iterator
+// rewrites of the row/column loops obscure the index arithmetic they mirror.
+#![allow(clippy::needless_range_loop)]
+
 //! Precision-generic dense linear algebra kernels for the Tucker decomposition.
 //!
 //! This crate plays the role that BLAS/LAPACK (MKL) plays for TuckerMPI

@@ -62,6 +62,17 @@ impl Comm {
         (self.id << 32) | (op << 8)
     }
 
+    /// [`Comm::next_op`] plus the runtime hook: records a trace event for the
+    /// collective and, in validating mode, checks every member executes the
+    /// same operation at this op index. `desc` must be SPMD-invariant —
+    /// derived only from values equal on all members (op name, payload type,
+    /// root) — so that matching calls compare equal; that is why `sendrecv`
+    /// omits the (legitimately different) partner.
+    fn next_op_hooked(&mut self, ctx: &mut Ctx, desc: impl FnOnce() -> String) -> u64 {
+        ctx.collective_op(self.id, &self.members, self.ops, desc);
+        self.next_op()
+    }
+
     /// Tag space for explicitly tagged point-to-point traffic: disjoint from
     /// the collective op tags (bit 31 set). Use when members of a comm
     /// participate in *unequal numbers* of operations (e.g. tree reductions),
@@ -100,7 +111,7 @@ impl Comm {
     /// Simultaneous exchange with a partner (MPI_Sendrecv): sends `msg`,
     /// returns the partner's message.
     pub fn sendrecv<M: Wire>(&mut self, ctx: &mut Ctx, partner: usize, msg: M) -> M {
-        let base = self.next_op();
+        let base = self.next_op_hooked(ctx, || format!("sendrecv<{}>", std::any::type_name::<M>()));
         self.send_sub(ctx, base, 0, partner, msg);
         self.recv_sub(ctx, base, 0, partner)
     }
@@ -108,7 +119,8 @@ impl Comm {
     /// Binomial-tree broadcast from member `root`. The root passes
     /// `Some(data)`, everyone else `None`; all return the data.
     pub fn bcast<M: Wire + Clone>(&mut self, ctx: &mut Ctx, root: usize, data: Option<M>) -> M {
-        let base = self.next_op();
+        let base =
+            self.next_op_hooked(ctx, || format!("bcast<{}>(root={root})", std::any::type_name::<M>()));
         let size = self.size();
         let rr = (self.my_idx + size - root) % size;
         let mut buf = data;
@@ -145,7 +157,9 @@ impl Comm {
         root: usize,
         data: Vec<T>,
     ) -> Option<Vec<T>> {
-        let base = self.next_op();
+        let base = self.next_op_hooked(ctx, || {
+            format!("reduce_sum_vec<{}>(root={root})", std::any::type_name::<T>())
+        });
         let size = self.size();
         let rr = (self.my_idx + size - root) % size;
         let mut acc = data;
@@ -180,7 +194,7 @@ impl Comm {
 
     /// Gather every member's message to everyone (gather-to-0 + bcast).
     pub fn allgather<M: Wire + Clone>(&mut self, ctx: &mut Ctx, msg: M) -> Vec<M> {
-        let base = self.next_op();
+        let base = self.next_op_hooked(ctx, || format!("allgather<{}>", std::any::type_name::<M>()));
         let size = self.size();
         if self.my_idx == 0 {
             let mut all = Vec::with_capacity(size);
@@ -206,7 +220,7 @@ impl Comm {
     /// redistribution algorithm (`P − 1` messages per rank).
     pub fn alltoallv<T: Scalar>(&mut self, ctx: &mut Ctx, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(sends.len(), self.size(), "alltoallv: one bucket per member");
-        let base = self.next_op();
+        let base = self.next_op_hooked(ctx, || format!("alltoallv<{}>", std::any::type_name::<T>()));
         let size = self.size();
         let me = self.my_idx;
         let mut out: Vec<Vec<T>> = (0..size).map(|_| Vec::new()).collect();
@@ -248,7 +262,7 @@ impl Comm {
         let size = self.size();
         let mut k = 1usize;
         while k < size {
-            let base = self.next_op();
+            let base = self.next_op_hooked(ctx, || "barrier".to_string());
             let dst = (self.my_idx + k) % size;
             let src = (self.my_idx + size - k) % size;
             self.send_sub(ctx, base, 0, dst, ());
@@ -398,6 +412,78 @@ mod tests {
     }
 
     #[test]
+    fn validator_accepts_matching_collective_sequences() {
+        let out = Simulator::new(4)
+            .with_cost(CostModel::zero())
+            .with_trace(crate::trace::TraceConfig::validating())
+            .try_run(|ctx| {
+                let mut world = Comm::world(ctx);
+                let s = world.allreduce_sum_vec(ctx, vec![1.0f64]);
+                world.barrier(ctx);
+                let members = if ctx.rank() < 2 { vec![0, 1] } else { vec![2, 3] };
+                let mut fiber = Comm::subset(ctx, members);
+                let g = fiber.allgather(ctx, vec![ctx.rank() as f64]);
+                (s, g.len())
+            })
+            .expect("well-formed SPMD program must validate");
+        for (s, glen) in out.results {
+            assert_eq!(s, vec![4.0]);
+            assert_eq!(glen, 2);
+        }
+    }
+
+    #[test]
+    fn validator_catches_mismatched_collectives() {
+        // Rank 0 broadcasts while everyone else allgathers: same comm, same
+        // op index, different operations. Must produce a typed error naming
+        // both ranks — not a panic, not a hang.
+        let err = Simulator::new(4)
+            .with_cost(CostModel::zero())
+            .with_trace(crate::trace::TraceConfig::validating())
+            .try_run(|ctx| {
+                let mut world = Comm::world(ctx);
+                if ctx.rank() == 0 {
+                    world.bcast(ctx, 0, Some(vec![1.0f64]));
+                } else {
+                    world.allgather(ctx, vec![1.0f64]);
+                }
+            })
+            .unwrap_err();
+        match err {
+            crate::MpiSimError::CollectiveMismatch { op_index, rank_a, op_a, rank_b, op_b, .. } => {
+                assert_eq!(op_index, 0);
+                let ops = [(rank_a, op_a), (rank_b, op_b)];
+                assert!(ops.iter().any(|(r, o)| *r == 0 && o.starts_with("bcast")), "{ops:?}");
+                assert!(ops.iter().any(|(r, o)| *r != 0 && o.starts_with("allgather")), "{ops:?}");
+            }
+            other => panic!("expected CollectiveMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn validator_catches_payload_type_divergence() {
+        // Same collective, different element type: the SPMD-invariant
+        // descriptor includes the payload type, so this is caught at the
+        // collective boundary before any message is opened.
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_trace(crate::trace::TraceConfig::validating())
+            .try_run(|ctx| {
+                let mut world = Comm::world(ctx);
+                if ctx.rank() == 0 {
+                    world.allreduce_sum_vec(ctx, vec![1.0f64]);
+                } else {
+                    world.allreduce_sum_vec(ctx, vec![1.0f32]);
+                }
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::MpiSimError::CollectiveMismatch { .. }),
+            "expected CollectiveMismatch, got {err}"
+        );
+    }
+
+    #[test]
     fn bcast_charges_message_costs() {
         let cost = CostModel { alpha: 1.0, beta_per_byte: 0.0, gamma_double: 0.0, gamma_single: 0.0, syrk_derate: 1.0 };
         let out = Simulator::new(4).with_cost(cost).run(|ctx| {
@@ -408,6 +494,6 @@ mod tests {
         });
         // Binomial tree depth 2: last leaf's clock ≥ 2 α, ≤ 3 α.
         let max = out.results.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max >= 2.0 && max <= 3.0, "max vt = {max}");
+        assert!((2.0..=3.0).contains(&max), "max vt = {max}");
     }
 }

@@ -1,0 +1,190 @@
+//! Typed runtime errors for the simulated MPI layer.
+//!
+//! Before this module existed, a payload-type mismatch died on a bare
+//! `panic!` inside the receiving rank and a collective mismatch (rank 3 calls
+//! `allreduce` while rank 5 calls `bcast`) either produced that same panic or
+//! deadlocked the whole test suite. Every failure mode now has a typed
+//! [`MpiSimError`] naming the endpoints involved, surfaced through
+//! [`crate::Simulator::try_run`] / [`crate::Simulator::run_result`] instead
+//! of a panic.
+
+use std::fmt;
+
+/// A failure detected by the simulated MPI runtime itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpiSimError {
+    /// A receiver asked for a different payload type than the sender sent
+    /// under the same tag.
+    TypeMismatch {
+        /// Sending world rank.
+        src: usize,
+        /// Receiving world rank.
+        dst: usize,
+        /// Message tag the mismatch occurred under.
+        tag: u64,
+        /// Type the receiver expected.
+        expected: &'static str,
+        /// Type the sender actually sent.
+        actual: &'static str,
+    },
+    /// Two ranks executed different collectives at the same operation index
+    /// of the same communicator (SPMD order violation).
+    CollectiveMismatch {
+        /// Communicator id (per-rank creation order).
+        comm: u64,
+        /// Index of the collective operation on that communicator.
+        op_index: u64,
+        /// First rank to reach the operation, and what it called.
+        rank_a: usize,
+        /// Operation description recorded by `rank_a`.
+        op_a: String,
+        /// The disagreeing rank.
+        rank_b: usize,
+        /// Operation description recorded by `rank_b`.
+        op_b: String,
+    },
+    /// A rank made no progress for the watchdog interval while blocked in a
+    /// receive. `report` holds the per-rank trace tails captured at the time
+    /// the deadlock was declared.
+    Deadlock {
+        /// The rank that timed out first.
+        rank: usize,
+        /// World rank it was waiting on.
+        waiting_for: usize,
+        /// Tag it was waiting for.
+        tag: u64,
+        /// Watchdog interval that elapsed, in milliseconds.
+        timeout_ms: u64,
+        /// Trace-tail dump of every rank (empty if tracing was off).
+        report: String,
+    },
+    /// A peer exited (error or early return) while this rank was still
+    /// waiting for a message from it.
+    PeerDisconnected {
+        /// The still-waiting rank.
+        rank: usize,
+        /// The peer that went away.
+        peer: usize,
+        /// Tag the rank was waiting for.
+        tag: u64,
+    },
+}
+
+impl fmt::Display for MpiSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiSimError::TypeMismatch { src, dst, tag, expected, actual } => write!(
+                f,
+                "message type mismatch on tag {tag}: rank {dst} expected `{expected}` \
+                 but rank {src} sent `{actual}`"
+            ),
+            MpiSimError::CollectiveMismatch { comm, op_index, rank_a, op_a, rank_b, op_b } => {
+                write!(
+                    f,
+                    "collective sequence mismatch on comm {comm} at op {op_index}: \
+                     rank {rank_a} called {op_a} but rank {rank_b} called {op_b}"
+                )
+            }
+            MpiSimError::Deadlock { rank, waiting_for, tag, timeout_ms, report } => {
+                write!(
+                    f,
+                    "no progress for {timeout_ms} ms: rank {rank} blocked waiting on \
+                     rank {waiting_for} (tag {tag}) — likely deadlock"
+                )?;
+                if !report.is_empty() {
+                    write!(f, "\nlast trace events per rank:\n{report}")?;
+                }
+                Ok(())
+            }
+            MpiSimError::PeerDisconnected { rank, peer, tag } => write!(
+                f,
+                "rank {rank} was waiting on rank {peer} (tag {tag}) but the peer exited"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiSimError {}
+
+/// Failure of a whole simulated run launched with
+/// [`crate::Simulator::run_result`].
+#[derive(Debug)]
+pub enum SimFailure<E> {
+    /// A rank's program returned `Err`; the runtime unblocked its peers and
+    /// aborted the run. `aborted` lists the peers that were cut loose.
+    Rank {
+        /// The failing rank.
+        rank: usize,
+        /// Its error.
+        error: E,
+        /// Peers that were unblocked (exited on a disconnect) as a result.
+        aborted: Vec<usize>,
+    },
+    /// The runtime itself detected a failure (type/collective mismatch,
+    /// deadlock).
+    Sim(MpiSimError),
+}
+
+impl<E: fmt::Display> fmt::Display for SimFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFailure::Rank { rank, error, aborted } => {
+                write!(f, "rank {rank} failed: {error}")?;
+                if !aborted.is_empty() {
+                    write!(f, " (aborted waiting peers: {aborted:?})")?;
+                }
+                Ok(())
+            }
+            SimFailure::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for SimFailure<E> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_endpoints_and_tags() {
+        let e = MpiSimError::TypeMismatch {
+            src: 3,
+            dst: 5,
+            tag: 42,
+            expected: "alloc::vec::Vec<f64>",
+            actual: "alloc::vec::Vec<f32>",
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 5"), "{s}");
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("tag 42"), "{s}");
+        assert!(s.contains("Vec<f64>"), "{s}");
+        assert!(s.contains("Vec<f32>"), "{s}");
+    }
+
+    #[test]
+    fn collective_mismatch_names_both_ops() {
+        let e = MpiSimError::CollectiveMismatch {
+            comm: 1,
+            op_index: 7,
+            rank_a: 3,
+            op_a: "allreduce_sum_vec<f64>".into(),
+            rank_b: 5,
+            op_b: "bcast<f64>(root=0)".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("allreduce_sum_vec<f64>"), "{s}");
+        assert!(s.contains("rank 5") && s.contains("bcast<f64>(root=0)"), "{s}");
+    }
+
+    #[test]
+    fn sim_failure_reports_aborted_peers() {
+        let f: SimFailure<String> =
+            SimFailure::Rank { rank: 2, error: "boom".into(), aborted: vec![0, 1, 3] };
+        let s = f.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("boom"), "{s}");
+        assert!(s.contains("[0, 1, 3]"), "{s}");
+    }
+}

@@ -23,15 +23,25 @@
 //!   `barrier`.
 //! * [`cost::CostModel`] — machine constants; [`cost::CostModel::andes`]
 //!   mirrors the paper's evaluation platform.
+//! * [`trace::TraceConfig`] — opt-in per-rank event tracing (ring buffers,
+//!   Chrome-trace/Perfetto and plain-text exporters), collective-sequence
+//!   validation, and a deadlock watchdog; see DESIGN.md §Observability.
+//! * [`error::MpiSimError`] — typed runtime failures (type mismatch,
+//!   collective mismatch, deadlock, peer disconnect) returned by
+//!   [`runtime::Simulator::try_run`] / [`runtime::Simulator::run_result`].
 
 pub mod comm;
 pub mod cost;
+pub mod error;
 pub mod runtime;
 pub mod stats;
+pub mod trace;
 pub mod wire;
 
 pub use comm::Comm;
 pub use cost::CostModel;
+pub use error::{MpiSimError, SimFailure};
 pub use runtime::{Ctx, SimOutput, Simulator};
-pub use stats::{Breakdown, PhaseStat, RankStats};
+pub use stats::{Breakdown, PhaseCritical, PhaseStat, RankStats};
+pub use trace::{chrome_trace_json, text_timeline, EventKind, RankTrace, TraceConfig, TraceEvent};
 pub use wire::Wire;

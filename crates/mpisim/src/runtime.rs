@@ -1,33 +1,109 @@
 //! The simulator core: SPMD ranks as threads, typed channels, virtual clocks.
+//!
+//! Failure handling: the runtime distinguishes *user* failures (a rank's
+//! program returns `Err` or panics) from *simulation* failures it detects
+//! itself — payload-type mismatches, mismatched collective sequences, and
+//! deadlocks. Simulation failures travel as [`MpiSimError`] panics inside a
+//! rank thread (silenced from stderr by a panic-hook filter), are caught at
+//! the rank boundary, and surface as typed errors from [`Simulator::try_run`]
+//! / [`Simulator::run_result`]. Whenever any rank dies, its channel senders
+//! drop, so every peer blocked in a receive wakes up with a
+//! [`MpiSimError::PeerDisconnected`] instead of hanging — the run always
+//! terminates, and the runner reports the root cause, not the cascade.
 
 use crate::cost::CostModel;
+use crate::error::{MpiSimError, SimFailure};
 use crate::stats::{PhaseStat, RankStats};
+use crate::trace::{EventKind, RankTrace, TraceBuffer, TraceConfig};
 use crate::wire::Wire;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::convert::Infallible;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, Once};
 use std::time::Instant;
 
 /// Internal message envelope.
 struct Message {
     tag: u64,
+    /// Sending rank (for diagnostics; channels are already per-pair).
+    src: usize,
     /// Virtual arrival time at the receiver (sender clock + α + β·bytes).
     arrival_vt: f64,
+    /// Wire size, for trace events.
+    bytes: usize,
+    /// Concrete payload type, for type-mismatch diagnostics.
+    type_name: &'static str,
     payload: Box<dyn Any + Send>,
+}
+
+/// State shared between all rank threads and the runner when tracing or
+/// validation is enabled.
+pub(crate) struct SharedTrace {
+    cfg: TraceConfig,
+    epoch: Instant,
+    /// One ring buffer per rank; the runner reads these for deadlock dumps
+    /// while the owning ranks may still be alive.
+    buffers: Vec<Mutex<TraceBuffer>>,
+    /// Collective-sequence validator: (comm id, members, op index) → what the
+    /// first rank to arrive called, and who it was.
+    validator: Mutex<HashMap<CollectiveKey, (String, usize)>>,
+}
+
+/// Identifies one step of one communicator's collective sequence:
+/// (comm id, members, op index).
+type CollectiveKey = (u64, Vec<usize>, u64);
+
+impl SharedTrace {
+    fn new(p: usize, cfg: TraceConfig) -> Self {
+        SharedTrace {
+            buffers: (0..p).map(|_| Mutex::new(TraceBuffer::new(cfg.capacity))).collect(),
+            cfg,
+            epoch: Instant::now(),
+            validator: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<RankTrace> {
+        self.buffers.iter().enumerate().map(|(r, b)| b.lock().unwrap().snapshot(r)).collect()
+    }
+}
+
+/// [`MpiSimError`] values are raised as panic payloads inside rank threads
+/// purely as a control-flow mechanism; the runner catches and types them.
+/// Filter them out of the default panic hook so aborting a simulation does
+/// not spray "Box<dyn Any>" noise on stderr.
+fn install_panic_filter() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<MpiSimError>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
 }
 
 /// Simulated machine: `p` SPMD ranks with a shared cost model.
 pub struct Simulator {
     p: usize,
     cost: CostModel,
+    trace: Option<TraceConfig>,
 }
 
 /// Results of one simulated run.
+#[derive(Debug)]
 pub struct SimOutput<R> {
     /// Per-rank return values, indexed by rank.
     pub results: Vec<R>,
     /// Per-rank statistics, indexed by rank.
     pub stats: Vec<RankStats>,
+    /// Per-rank event traces; empty unless the simulator was built with
+    /// [`Simulator::with_trace`].
+    pub traces: Vec<RankTrace>,
 }
 
 impl<R> SimOutput<R> {
@@ -37,16 +113,32 @@ impl<R> SimOutput<R> {
     }
 }
 
+/// How one rank thread ended.
+enum Exit<R, E> {
+    Done(R),
+    User(E),
+    Sim(MpiSimError),
+    Panic(Box<dyn Any + Send>),
+}
+
 impl Simulator {
     /// Simulator with `p` ranks and the default (Andes) cost model.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "need at least one rank");
-        Simulator { p, cost: CostModel::default() }
+        Simulator { p, cost: CostModel::default(), trace: None }
     }
 
     /// Override the cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Enable event tracing (and, per `cfg`, collective validation and the
+    /// deadlock watchdog). Without this call the trace machinery costs one
+    /// `Option` check per event site.
+    pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
         self
     }
 
@@ -57,63 +149,187 @@ impl Simulator {
 
     /// Run an SPMD program: every rank executes `f` with its own [`Ctx`].
     ///
-    /// Panics in any rank propagate (the scope joins all threads first).
+    /// Panics in any rank propagate (the scope joins all threads first);
+    /// simulation failures (type mismatch, collective mismatch, deadlock)
+    /// panic with their display message. Use [`Simulator::try_run`] to get
+    /// those as typed errors instead.
     pub fn run<R, F>(&self, f: F) -> SimOutput<R>
     where
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
     {
+        match self.try_run(f) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`Simulator::run`], but runtime-detected failures come back as a
+    /// typed [`MpiSimError`] naming the ranks and tags involved.
+    pub fn try_run<R, F>(&self, f: F) -> Result<SimOutput<R>, MpiSimError>
+    where
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        self.run_core(|ctx| Ok::<R, Infallible>(f(ctx))).map_err(|e| match e {
+            SimFailure::Sim(e) => e,
+            SimFailure::Rank { .. } => unreachable!("rank error type is Infallible"),
+        })
+    }
+
+    /// Run a fallible SPMD program. A rank returning `Err` aborts the whole
+    /// simulation cleanly: its channels close, every peer blocked on it is
+    /// unblocked with a disconnect, and the returned [`SimFailure::Rank`]
+    /// carries the original error plus the list of peers that were cut loose.
+    pub fn run_result<R, E, F>(&self, f: F) -> Result<SimOutput<R>, SimFailure<E>>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&mut Ctx) -> Result<R, E> + Sync,
+    {
+        self.run_core(f)
+    }
+
+    fn run_core<R, E, F>(&self, f: F) -> Result<SimOutput<R>, SimFailure<E>>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(&mut Ctx) -> Result<R, E> + Sync,
+    {
+        install_panic_filter();
         let p = self.p;
         // Channel matrix: channels[src][dst].
         let mut senders: Vec<Vec<Sender<Message>>> = Vec::with_capacity(p);
-        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> = (0..p).map(|_| Vec::new()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..p).map(|_| Vec::new()).collect();
         for _src in 0..p {
             let mut row = Vec::with_capacity(p);
-            for dst in 0..p {
-                let (tx, rx) = unbounded();
+            for dst_rx in receivers.iter_mut() {
+                let (tx, rx) = channel();
                 row.push(tx);
-                receivers[dst].push(Some(rx));
+                dst_rx.push(Some(rx));
             }
             senders.push(row);
         }
         // Per-rank inboxes: receivers_from[rank][src].
         let mut inboxes: Vec<Vec<Receiver<Message>>> = Vec::with_capacity(p);
-        for dst in 0..p {
-            inboxes.push(receivers[dst].iter_mut().map(|r| r.take().unwrap()).collect());
+        for dst_rx in receivers.iter_mut() {
+            inboxes.push(dst_rx.iter_mut().map(|r| r.take().unwrap()).collect());
         }
 
         let cost = self.cost;
+        let shared = self.trace.clone().map(|cfg| Arc::new(SharedTrace::new(p, cfg)));
         let fref = &f;
-        let mut outputs: Vec<Option<(R, RankStats)>> = (0..p).map(|_| None).collect();
+        let mut outputs: Vec<Option<(Exit<R, E>, RankStats)>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             // Move each sender row into its thread: when a rank finishes (or
-            // panics) its senders drop, so peers blocked on recv observe a
+            // fails) its senders drop, so peers blocked on recv observe a
             // disconnect instead of deadlocking.
             for (rank, (inbox, outs)) in inboxes.into_iter().zip(senders).enumerate() {
+                let shared = shared.clone();
                 handles.push(scope.spawn(move || {
-                    let mut ctx = Ctx::new(rank, p, outs, inbox, cost);
+                    let mut ctx = Ctx::new(rank, p, outs, inbox, cost, shared);
                     let start = Instant::now();
-                    let r = fref(&mut ctx);
+                    let res = catch_unwind(AssertUnwindSafe(|| fref(&mut ctx)));
                     ctx.stats.total.wall = start.elapsed().as_secs_f64();
                     ctx.stats.modeled_time = ctx.vt;
                     ctx.stats.total.modeled = ctx.vt;
-                    (r, ctx.stats)
+                    let exit = match res {
+                        Ok(Ok(r)) => Exit::Done(r),
+                        Ok(Err(e)) => Exit::User(e),
+                        Err(payload) => match payload.downcast::<MpiSimError>() {
+                            Ok(e) => Exit::Sim(*e),
+                            Err(payload) => Exit::Panic(payload),
+                        },
+                    };
+                    (exit, ctx.stats)
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
-                outputs[rank] = Some(h.join().expect("simulated rank panicked"));
+                outputs[rank] = Some(h.join().expect("simulated rank thread died"));
             }
         });
-        let mut results = Vec::with_capacity(p);
+
+        let traces = shared.as_ref().map(|s| s.snapshot()).unwrap_or_default();
+
+        let mut exits = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
         for o in outputs {
-            let (r, s) = o.unwrap();
-            results.push(r);
+            let (exit, s) = o.unwrap();
+            exits.push(exit);
             stats.push(s);
         }
-        SimOutput { results, stats }
+
+        // A genuine user panic (e.g. a failed test assertion inside a rank)
+        // takes precedence and propagates as a panic, preserving the payload.
+        for e in &mut exits {
+            if matches!(e, Exit::Panic(_)) {
+                let payload = match std::mem::replace(e, Exit::Sim(dummy_error())) {
+                    Exit::Panic(payload) => payload,
+                    _ => unreachable!(),
+                };
+                resume_unwind(payload);
+            }
+        }
+
+        // Root-cause ordering: a protocol violation explains everything
+        // downstream of it; a user error explains the disconnect cascade it
+        // caused; a deadlock explains the disconnects of the ranks it
+        // aborted. `PeerDisconnected` is only ever reported when nothing
+        // better is known.
+        let mut user: Option<(usize, E)> = None;
+        let mut protocol: Option<MpiSimError> = None;
+        let mut deadlock: Option<MpiSimError> = None;
+        let mut disconnect: Option<MpiSimError> = None;
+        let mut aborted: Vec<usize> = Vec::new();
+        let mut results = Vec::with_capacity(p);
+        for (rank, exit) in exits.into_iter().enumerate() {
+            match exit {
+                Exit::Done(r) => results.push(r),
+                Exit::User(e) => {
+                    if user.is_none() {
+                        user = Some((rank, e));
+                    }
+                }
+                Exit::Sim(e) => match e {
+                    MpiSimError::TypeMismatch { .. } | MpiSimError::CollectiveMismatch { .. } => {
+                        protocol.get_or_insert(e);
+                    }
+                    MpiSimError::Deadlock { .. } => {
+                        deadlock.get_or_insert(e);
+                    }
+                    MpiSimError::PeerDisconnected { .. } => {
+                        aborted.push(rank);
+                        disconnect.get_or_insert(e);
+                    }
+                },
+                Exit::Panic(_) => unreachable!("panics already resumed"),
+            }
+        }
+
+        if let Some(e) = protocol {
+            return Err(SimFailure::Sim(e));
+        }
+        if let Some((rank, error)) = user {
+            return Err(SimFailure::Rank { rank, error, aborted });
+        }
+        if let Some(mut e) = deadlock {
+            if let MpiSimError::Deadlock { report, .. } = &mut e {
+                *report = crate::trace::tail_report(&traces, 16);
+            }
+            return Err(SimFailure::Sim(e));
+        }
+        if let Some(e) = disconnect {
+            return Err(SimFailure::Sim(e));
+        }
+        debug_assert_eq!(results.len(), p);
+        Ok(SimOutput { results, stats, traces })
     }
+}
+
+fn dummy_error() -> MpiSimError {
+    MpiSimError::PeerDisconnected { rank: 0, peer: 0, tag: 0 }
 }
 
 /// Per-rank execution context: identity, messaging, cost accounting.
@@ -133,6 +349,8 @@ pub struct Ctx {
     phase_stack: Vec<(String, Instant, f64, PhaseStat)>,
     /// Monotone counter handed to communicators for tag spaces.
     comm_counter: u64,
+    /// Trace/validation state, shared with the runner; `None` when off.
+    trace: Option<Arc<SharedTrace>>,
 }
 
 impl Ctx {
@@ -142,6 +360,7 @@ impl Ctx {
         out: Vec<Sender<Message>>,
         inbox: Vec<Receiver<Message>>,
         cost: CostModel,
+        trace: Option<Arc<SharedTrace>>,
     ) -> Self {
         Ctx {
             rank,
@@ -154,6 +373,7 @@ impl Ctx {
             stats: RankStats::default(),
             phase_stack: Vec::new(),
             comm_counter: 0,
+            trace,
         }
     }
 
@@ -179,6 +399,61 @@ impl Ctx {
         self.comm_counter
     }
 
+    /// Abort this rank with a simulation error; caught and typed by the
+    /// runner. Diverges via a filtered panic, so call sites stay expressions.
+    fn fail(&self, e: MpiSimError) -> ! {
+        std::panic::panic_any(e)
+    }
+
+    /// Record a trace event if tracing is on. The closure keeps event
+    /// construction (string formatting, allocation) entirely off the
+    /// tracing-disabled path.
+    #[inline]
+    fn record(&self, kind: impl FnOnce() -> EventKind) {
+        if let Some(t) = &self.trace {
+            let wall = t.epoch.elapsed().as_secs_f64();
+            t.buffers[self.rank].lock().unwrap().push(wall, self.vt, kind());
+        }
+    }
+
+    /// Called by [`crate::Comm`] at the top of every collective: records a
+    /// trace event and, in validating mode, checks that every member rank
+    /// executes the same operation at the same op index of the communicator.
+    pub(crate) fn collective_op(
+        &mut self,
+        comm: u64,
+        members: &[usize],
+        op_index: u64,
+        desc: impl FnOnce() -> String,
+    ) {
+        let Some(t) = self.trace.clone() else { return };
+        let desc = desc();
+        if t.cfg.validate {
+            let key = (comm, members.to_vec(), op_index);
+            let mut v = t.validator.lock().unwrap();
+            match v.get(&key) {
+                None => {
+                    v.insert(key, (desc.clone(), self.rank));
+                }
+                Some((prior, prior_rank)) => {
+                    if *prior != desc {
+                        let e = MpiSimError::CollectiveMismatch {
+                            comm,
+                            op_index,
+                            rank_a: *prior_rank,
+                            op_a: prior.clone(),
+                            rank_b: self.rank,
+                            op_b: desc.clone(),
+                        };
+                        drop(v);
+                        self.fail(e);
+                    }
+                }
+            }
+        }
+        self.record(|| EventKind::Collective { comm, op_index, op: desc });
+    }
+
     /// Send `msg` to `dst` with a tag. Non-blocking; charges `α + β·bytes`
     /// to this rank's clock and stamps the message with its arrival time.
     pub fn send<M: Wire>(&mut self, dst: usize, tag: u64, msg: M) {
@@ -187,9 +462,22 @@ impl Ctx {
         self.vt += self.cost.message(bytes);
         self.stats.total.bytes_sent += bytes as u64;
         self.stats.total.msgs += 1;
-        self.out[dst]
-            .send(Message { tag, arrival_vt: self.vt, payload: Box::new(msg) })
-            .expect("simulated channel closed");
+        self.record(|| EventKind::Send { dst, tag, bytes });
+        // A closed channel means the peer already failed; report the
+        // disconnect from this side rather than panicking on the send.
+        if self.out[dst]
+            .send(Message {
+                tag,
+                src: self.rank,
+                arrival_vt: self.vt,
+                bytes,
+                type_name: std::any::type_name::<M>(),
+                payload: Box::new(msg),
+            })
+            .is_err()
+        {
+            self.fail(MpiSimError::PeerDisconnected { rank: self.rank, peer: dst, tag });
+        }
     }
 
     /// Blocking receive of a message with the given tag from `src`.
@@ -202,7 +490,7 @@ impl Ctx {
             return self.open::<M>(m);
         }
         loop {
-            let m = self.inbox[src].recv().expect("simulated channel closed");
+            let m = self.wait_from(src, tag);
             if m.tag == tag {
                 return self.open::<M>(m);
             }
@@ -210,11 +498,48 @@ impl Ctx {
         }
     }
 
+    /// Block for the next message from `src`, honouring the deadlock
+    /// watchdog if one is configured.
+    fn wait_from(&mut self, src: usize, tag: u64) -> Message {
+        let watchdog = self.trace.as_ref().and_then(|t| t.cfg.watchdog);
+        match watchdog {
+            None => match self.inbox[src].recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    self.fail(MpiSimError::PeerDisconnected { rank: self.rank, peer: src, tag })
+                }
+            },
+            Some(interval) => match self.inbox[src].recv_timeout(interval) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.fail(MpiSimError::PeerDisconnected { rank: self.rank, peer: src, tag })
+                }
+                Err(RecvTimeoutError::Timeout) => self.fail(MpiSimError::Deadlock {
+                    rank: self.rank,
+                    waiting_for: src,
+                    tag,
+                    timeout_ms: interval.as_millis() as u64,
+                    // Filled in by the runner, which can see all ranks'
+                    // trace buffers.
+                    report: String::new(),
+                }),
+            },
+        }
+    }
+
     fn open<M: Wire>(&mut self, m: Message) -> M {
         self.vt = self.vt.max(m.arrival_vt);
-        *m.payload.downcast::<M>().unwrap_or_else(|_| {
-            panic!("rank {}: message type mismatch for tag {}", self.rank, m.tag)
-        })
+        self.record(|| EventKind::Recv { src: m.src, tag: m.tag, bytes: m.bytes });
+        match m.payload.downcast::<M>() {
+            Ok(payload) => *payload,
+            Err(_) => self.fail(MpiSimError::TypeMismatch {
+                src: m.src,
+                dst: self.rank,
+                tag: m.tag,
+                expected: std::any::type_name::<M>(),
+                actual: m.type_name,
+            }),
+        }
     }
 
     /// Charge `flops` floating-point operations at the γ-rate for scalars of
@@ -235,6 +560,7 @@ impl Ctx {
     /// Run `f` under a named phase timer; wall time, modeled time, flops and
     /// message counters accrued inside are attributed to `name`.
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        self.record(|| EventKind::PhaseBegin { name: name.to_string() });
         let frame = (name.to_string(), Instant::now(), self.vt, self.stats.total);
         self.phase_stack.push(frame);
         let r = f(self);
@@ -246,6 +572,7 @@ impl Ctx {
             bytes_sent: self.stats.total.bytes_sent - before.bytes_sent,
             msgs: self.stats.total.msgs - before.msgs,
         };
+        self.record(|| EventKind::PhaseEnd { name: name.clone() });
         self.stats.accumulate(&name, delta);
         r
     }
@@ -254,6 +581,7 @@ impl Ctx {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn ranks_have_distinct_ids() {
@@ -387,5 +715,161 @@ mod tests {
             }
         });
         assert_eq!(out.results[0], (1..8).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn type_mismatch_is_a_typed_error_naming_both_endpoints() {
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 42, vec![1.0f32]); // f32 sent …
+                } else {
+                    let _ = ctx.recv::<Vec<f64>>(0, 42); // … f64 expected
+                }
+            })
+            .unwrap_err();
+        match err {
+            MpiSimError::TypeMismatch { src, dst, tag, expected, actual } => {
+                assert_eq!((src, dst, tag), (0, 1, 42));
+                assert!(expected.contains("f64"), "{expected}");
+                assert!(actual.contains("f32"), "{actual}");
+            }
+            other => panic!("expected TypeMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_error_unblocks_waiting_peers() {
+        // Rank 1 fails while ranks 0 and 2 wait on it forever; the run must
+        // end with rank 1's error and list the unblocked peers.
+        let err = Simulator::new(3)
+            .with_cost(CostModel::zero())
+            .run_result(|ctx| {
+                if ctx.rank() == 1 {
+                    Err("disk on fire".to_string())
+                } else {
+                    let _ = ctx.recv::<Vec<f64>>(1, 0);
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimFailure::Rank { rank, error, aborted } => {
+                assert_eq!(rank, 1);
+                assert_eq!(error, "disk on fire");
+                assert_eq!(aborted, vec![0, 2]);
+            }
+            SimFailure::Sim(e) => panic!("expected Rank failure, got {e}"),
+        }
+    }
+
+    #[test]
+    fn send_to_dead_peer_reports_disconnect_not_hang() {
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .run_result(|ctx| {
+                if ctx.rank() == 0 {
+                    Err("early exit".to_string())
+                } else {
+                    // Give rank 0 time to die, then try to talk to it.
+                    std::thread::sleep(Duration::from_millis(50));
+                    ctx.send(0, 0, vec![1.0f64]);
+                    let _ = ctx.recv::<Vec<f64>>(0, 1);
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimFailure::Rank { rank, aborted, .. } => {
+                assert_eq!(rank, 0);
+                assert_eq!(aborted, vec![1]);
+            }
+            SimFailure::Sim(e) => panic!("expected Rank failure, got {e}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_detects_deadlock_and_dumps_trace_tails() {
+        let cfg = TraceConfig::default().watchdog(Some(Duration::from_millis(100)));
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_trace(cfg)
+            .try_run(|ctx| {
+                ctx.phase("Gram", |c| {
+                    if c.rank() == 0 {
+                        // Both ranks wait on each other: classic deadlock.
+                        let _ = c.recv::<Vec<f64>>(1, 0);
+                    } else {
+                        let _ = c.recv::<Vec<f64>>(0, 0);
+                    }
+                });
+            })
+            .unwrap_err();
+        match err {
+            MpiSimError::Deadlock { timeout_ms, report, .. } => {
+                assert_eq!(timeout_ms, 100);
+                assert!(report.contains("rank 0"), "{report}");
+                assert!(report.contains("rank 1"), "{report}");
+                assert!(report.contains("begin Gram"), "{report}");
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tracing_records_sends_recvs_and_phases() {
+        let out = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_trace(TraceConfig::default())
+            .run(|ctx| {
+                ctx.phase("LQ", |c| {
+                    if c.rank() == 0 {
+                        c.send(1, 7, vec![1.0f64, 2.0]);
+                    } else {
+                        let _ = c.recv::<Vec<f64>>(0, 7);
+                    }
+                });
+            });
+        assert_eq!(out.traces.len(), 2);
+        let kinds0: Vec<_> = out.traces[0].events.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds0[0], EventKind::PhaseBegin { name } if name == "LQ"));
+        assert!(matches!(kinds0[1], EventKind::Send { dst: 1, tag: 7, bytes: 16 }));
+        assert!(matches!(kinds0[2], EventKind::PhaseEnd { name } if name == "LQ"));
+        let recv = out.traces[1]
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Recv { .. }))
+            .expect("rank 1 recorded its recv");
+        assert!(matches!(recv.kind, EventKind::Recv { src: 0, tag: 7, bytes: 16 }));
+    }
+
+    #[test]
+    fn tracing_off_leaves_traces_empty() {
+        let out = Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![1.0f64]);
+            } else {
+                let _ = ctx.recv::<Vec<f64>>(0, 0);
+            }
+        });
+        assert!(out.traces.is_empty());
+    }
+
+    #[test]
+    fn run_panics_with_display_message_on_sim_error() {
+        let caught = catch_unwind(|| {
+            Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 3, 1usize);
+                } else {
+                    let _ = ctx.recv::<Vec<f64>>(0, 3);
+                }
+            });
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("type mismatch"), "{msg}");
+        assert!(msg.contains("tag 3"), "{msg}");
     }
 }

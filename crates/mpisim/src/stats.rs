@@ -60,6 +60,20 @@ impl RankStats {
     }
 }
 
+/// One row of the critical-path report: which rank bounds a phase on the
+/// modeled clock, and how much of the makespan that phase explains.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseCritical {
+    /// Phase label.
+    pub phase: String,
+    /// Rank with the largest modeled time in this phase.
+    pub rank: usize,
+    /// That rank's modeled seconds in this phase.
+    pub modeled: f64,
+    /// `modeled` as a fraction of the modeled makespan.
+    pub share: f64,
+}
+
 /// Aggregation of per-rank stats across the whole simulated machine.
 #[derive(Clone, Debug, Default)]
 pub struct Breakdown {
@@ -75,6 +89,13 @@ pub struct Breakdown {
     pub total_msgs: u64,
     /// Per-phase: stat of the slowest rank (by modeled time) in that phase.
     pub phases: BTreeMap<String, PhaseStat>,
+    /// The rank whose virtual clock defines the makespan.
+    pub slowest_rank: usize,
+    /// Per-phase critical-path rows over the modeled clock, largest first:
+    /// the worst rank for each phase, across *all* ranks (not just the
+    /// slowest one — a phase can be bounded by a different rank than the one
+    /// defining the makespan).
+    pub critical_path: Vec<PhaseCritical>,
 }
 
 impl Breakdown {
@@ -90,15 +111,58 @@ impl Breakdown {
             b.total_msgs += r.total.msgs;
         }
         // Slowest rank overall defines the reported per-phase breakdown.
-        if let Some(slowest) = ranks
-            .iter()
-            .max_by(|a, b| a.modeled_time.partial_cmp(&b.modeled_time).unwrap_or(std::cmp::Ordering::Equal))
-        {
+        if let Some((idx, slowest)) = ranks.iter().enumerate().max_by(|(_, a), (_, b)| {
+            a.modeled_time.partial_cmp(&b.modeled_time).unwrap_or(std::cmp::Ordering::Equal)
+        }) {
+            b.slowest_rank = idx;
             for (name, p) in &slowest.phases {
                 b.phases.insert(name.clone(), *p);
             }
         }
+        // Critical path: for every phase any rank recorded, the rank with the
+        // most modeled time in it.
+        let mut worst: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+        for (rank, r) in ranks.iter().enumerate() {
+            for (name, p) in &r.phases {
+                let e = worst.entry(name).or_insert((rank, p.modeled));
+                if p.modeled > e.1 {
+                    *e = (rank, p.modeled);
+                }
+            }
+        }
+        b.critical_path = worst
+            .into_iter()
+            .map(|(phase, (rank, modeled))| PhaseCritical {
+                phase: phase.to_string(),
+                rank,
+                modeled,
+                share: if b.modeled_time > 0.0 { modeled / b.modeled_time } else { 0.0 },
+            })
+            .collect();
+        b.critical_path.sort_by(|x, y| {
+            y.modeled.partial_cmp(&x.modeled).unwrap_or(std::cmp::Ordering::Equal)
+        });
         b
+    }
+
+    /// Text rendering of the critical-path report for CLI/bench output.
+    pub fn critical_path_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "modeled makespan {:.6e} s (slowest rank {})\n",
+            self.modeled_time, self.slowest_rank
+        ));
+        out.push_str("  phase                     bound by     modeled [s]   share\n");
+        for row in &self.critical_path {
+            out.push_str(&format!(
+                "  {:<24}  rank {:<6}  {:>12.6e}  {:>5.1}%\n",
+                row.phase,
+                row.rank,
+                row.modeled,
+                row.share * 100.0
+            ));
+        }
+        out
     }
 
     /// Aggregate modeled GFLOP/s per rank (the paper's Fig. 3a metric).
@@ -142,6 +206,41 @@ mod tests {
         assert_eq!(b.modeled_time, 5.0);
         assert_eq!(b.total_flops, 120.0);
         assert_eq!(b.phases["LQ"].modeled, 5.0);
+    }
+
+    #[test]
+    fn critical_path_picks_worst_rank_per_phase() {
+        // Rank 0 dominates LQ, rank 1 dominates TTM; rank 1 is slowest
+        // overall, but the LQ row must still point at rank 0.
+        let mut r0 = RankStats { modeled_time: 4.0, ..Default::default() };
+        r0.accumulate("LQ", stat(3.0, 0.0));
+        r0.accumulate("TTM", stat(1.0, 0.0));
+        let mut r1 = RankStats { modeled_time: 5.0, ..Default::default() };
+        r1.accumulate("LQ", stat(1.0, 0.0));
+        r1.accumulate("TTM", stat(4.0, 0.0));
+        let b = Breakdown::from_ranks(&[r0, r1]);
+        assert_eq!(b.slowest_rank, 1);
+        assert_eq!(b.critical_path.len(), 2);
+        assert_eq!(b.critical_path[0].phase, "TTM");
+        assert_eq!(b.critical_path[0].rank, 1);
+        assert_eq!(b.critical_path[0].modeled, 4.0);
+        assert!((b.critical_path[0].share - 0.8).abs() < 1e-12);
+        assert_eq!(b.critical_path[1].phase, "LQ");
+        assert_eq!(b.critical_path[1].rank, 0);
+        assert_eq!(b.critical_path[1].modeled, 3.0);
+        let report = b.critical_path_report();
+        assert!(report.contains("slowest rank 1"), "{report}");
+        assert!(report.contains("TTM"), "{report}");
+        assert!(report.contains("80.0%"), "{report}");
+    }
+
+    #[test]
+    fn critical_path_handles_zero_makespan() {
+        let mut r = RankStats::default();
+        r.accumulate("LQ", PhaseStat::default());
+        let b = Breakdown::from_ranks(&[r]);
+        assert_eq!(b.critical_path.len(), 1);
+        assert_eq!(b.critical_path[0].share, 0.0);
     }
 
     #[test]

@@ -176,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled-out stride arithmetic
     fn get_set_roundtrip() {
         let mut t = Tensor::<f32>::zeros(&[3, 4, 5]);
         t.set(&[2, 1, 3], 9.0);

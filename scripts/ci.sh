@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Run from anywhere; everything is pinned
+# to the repo root and the committed Cargo.lock (--locked) so CI cannot
+# drift from local runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace --locked
+cargo test -q --workspace --locked
+cargo clippy --all-targets --workspace --locked -- -D warnings

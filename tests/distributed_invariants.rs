@@ -8,7 +8,8 @@ use tucker_rs::dtensor::{
 };
 use tucker_rs::linalg::tslq::TslqOptions;
 use tucker_rs::linalg::{gemm_into, syrk_lower, Matrix, Trans};
-use tucker_rs::mpisim::{Comm, CostModel, Simulator};
+use tucker_rs::core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_rs::mpisim::{Comm, CostModel, Simulator, TraceConfig};
 use tucker_rs::tensor::{ttm, Tensor, Unfolding};
 
 /// Strategy: (dims, grid) with 3 modes, small sizes, grid dividing nothing in
@@ -91,7 +92,7 @@ proptest! {
         let x = test_tensor(&dims, 4);
         let g = ProcessorGrid::new(&grid);
         let p = g.total();
-        let r = (dims[n] + 1) / 2;
+        let r = dims[n].div_ceil(2);
         let u = Matrix::from_fn(dims[n], r, |i, j| ((i * 3 + j * 5) as f64 * 0.31).sin());
         let want = ttm(&x, n, u.as_ref(), true);
         let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
@@ -119,5 +120,47 @@ proptest! {
         for got in out.results {
             prop_assert!((got - want).abs() < 1e-11 * want.max(1.0));
         }
+    }
+
+    /// The observability layer only *records*: running the full parallel
+    /// ST-HOSVD with tracing + collective validation + watchdog armed must
+    /// produce bit-identical cores, factors, and error estimates to a
+    /// tracing-off run, for arbitrary grids and every SVD method.
+    #[test]
+    fn tracing_does_not_perturb_results(
+        (dims, grid, _) in shapes(),
+        seed in 0u64..1000,
+        method_sel in 0usize..3,
+    ) {
+        let x = test_tensor(&dims, seed);
+        let method = match method_sel {
+            0 => SvdMethod::Qr,
+            1 => SvdMethod::Gram,
+            _ => SvdMethod::GramMixed,
+        };
+        let ranks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(2)).collect();
+        let cfg = SthosvdConfig::with_ranks(ranks).method(method).order(ModeOrder::Backward);
+        let run = |trace: Option<TraceConfig>| {
+            let p: usize = grid.iter().product();
+            let mut sim = Simulator::new(p).with_cost(CostModel::andes());
+            if let Some(tc) = trace {
+                sim = sim.with_trace(tc);
+            }
+            let out = sim.run(|ctx| {
+                let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&grid), ctx.rank());
+                let po = sthosvd_parallel(ctx, &dt, &cfg).unwrap();
+                let mut bits: Vec<u64> =
+                    po.core.local().data().iter().map(|v| v.to_bits()).collect();
+                for f in &po.factors {
+                    bits.extend(f.data().iter().map(|v| v.to_bits()));
+                }
+                bits.push(po.estimated_error.to_bits());
+                bits
+            });
+            out.results
+        };
+        let plain = run(None);
+        let traced = run(Some(TraceConfig::validating()));
+        prop_assert_eq!(plain, traced, "tracing changed numerical results");
     }
 }

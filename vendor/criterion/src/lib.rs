@@ -1,0 +1,225 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/API surface the workspace's benches use
+//! (`criterion_group!` with `name/config/targets`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`) as a simple wall-clock
+//! harness: warm up, then run timed batches and report the per-iteration
+//! mean and min. No statistics, plots, or baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up running time before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), c: self }
+    }
+
+    /// Run one benchmark directly on the harness. Accepts `&str` or
+    /// `String` ids, as real criterion does via `Into<BenchmarkId>`.
+    pub fn bench_function<I, F>(&mut self, name: I, f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.into();
+        run_benchmark(self, &label, f);
+        self
+    }
+}
+
+/// Handle for benchmarks registered under a common group name.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group. Accepts `&str` or `String` ids.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.c, &label, f);
+        self
+    }
+
+    /// End the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for this sample's iteration count, recording total elapsed
+    /// time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, mut f: F) {
+    // Warm up while estimating a per-iteration time.
+    let warm_start = Instant::now();
+    let mut iters_done: u64 = 0;
+    while warm_start.elapsed() < c.warm_up_time {
+        run_once(&mut f, 1);
+        iters_done += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / iters_done.max(1) as f64;
+
+    // Pick a per-sample iteration count that fits sample_size samples into
+    // the measurement budget.
+    let budget = c.measurement_time.as_secs_f64() / c.sample_size as f64;
+    let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let d = run_once(&mut f, iters);
+        samples.push(d.as_secs_f64() / iters as f64);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+    println!("{label:<48} mean {:>12}  min {:>12}", fmt_time(mean), fmt_time(min));
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Group benchmark targets under a callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("demo");
+        let mut count = 0u64;
+        g.bench_function("increment", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                black_box(count)
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+
+    criterion_group!(
+        name = test_group;
+        config = crate::tests::quick();
+        targets = target_a
+    );
+
+    fn target_a(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macro_group_is_callable() {
+        test_group();
+    }
+}

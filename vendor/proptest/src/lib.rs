@@ -1,0 +1,451 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`/`prop_filter`,
+//! range and tuple strategies, [`arbitrary::any`], and
+//! [`collection::vec`] — over a deterministic per-test RNG.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated values via the normal assert message), and the generation
+//! streams differ. Each test function derives its seed from its own name, so
+//! failures are reproducible run to run.
+
+pub mod rng {
+    //! Deterministic test RNG (SplitMix64).
+
+    /// Generator handed to [`crate::strategy::Strategy::generate`].
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed directly.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Seed from a test name (FNV-1a), so each test gets its own
+        /// reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[lo, hi]` (inclusive).
+        pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            let span = hi - lo;
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            lo + self.next_u64() % (span + 1)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run configuration.
+
+    /// Per-test-block configuration (subset: case count).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::rng::TestRng;
+
+    /// How many candidates a filter tries before giving up.
+    const FILTER_MAX_TRIES: usize = 10_000;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values for which `pred` holds; `whence` names the
+        /// constraint in the give-up panic message.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence: whence.into(), pred }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..FILTER_MAX_TRIES {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "proptest filter '{}' rejected {FILTER_MAX_TRIES} candidates in a row",
+                self.whence
+            );
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.uniform_u64(self.start as u64, self.end as u64 - 1) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.uniform_u64(*self.start() as u64, *self.end() as u64) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(usize, u64, u32, u16, u8);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! [`any`] and the [`Arbitrary`] trait.
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// That strategy.
+        type Strategy: Strategy<Value = Self>;
+        /// Construct it.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy over all bit patterns of an integer type.
+    pub struct AnyBits<T>(PhantomData<T>);
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyBits<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyBits<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyBits(PhantomData)
+                }
+            }
+        )*};
+    }
+    arbitrary_ints!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+    impl Strategy for AnyBits<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBits<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyBits(PhantomData)
+        }
+    }
+
+    /// The canonical strategy for `A` (e.g. `any::<u64>()`).
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: [`vec`]).
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Things usable as a `vec` length specification: an exact length or a
+    /// range of lengths.
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec-size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.uniform_u64(self.min as u64, self.max as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors whose length is drawn from `size` and whose elements are drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property test (no shrinking: forwards to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property test (forwards to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property test (forwards to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let ($($pat,)+) = ($(($strat).generate(&mut __rng),)+);
+                    // Run the body inside a Result-returning closure so
+                    // `return Ok(())` early-exits a case, like real proptest.
+                    let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(__msg) = __outcome {
+                        panic!("proptest case {} failed: {}", __case, __msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 1u64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_any((a, b) in (0usize..5, any::<u64>()), flip in any::<bool>()) {
+            prop_assert!(a < 5);
+            let _ = b;
+            let _ = flip;
+        }
+
+        #[test]
+        fn mapped_strategy_is_even(x in evens()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn filter_holds(v in crate::collection::vec(1usize..6, 2..5)
+            .prop_filter("product small", |v| v.iter().product::<usize>() <= 20))
+        {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert!(v.iter().product::<usize>() <= 20);
+        }
+    }
+
+    #[test]
+    fn vec_exact_len() {
+        let s = crate::collection::vec(0usize..3, 4usize);
+        let mut rng = crate::rng::TestRng::new(9);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::rng::TestRng::from_name("t");
+        let mut b = crate::rng::TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides [`StandardNormal`] — the only distribution this workspace uses —
+//! implemented with the Box-Muller transform over the vendored `rand`
+//! generator. Sample streams are deterministic per seed but not identical to
+//! upstream `rand_distr` (which uses the ziggurat method).
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+fn unit_open(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    // (0, 1]: avoids ln(0) below.
+    ((rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let x: f64 = StandardNormal.sample(rng);
+        x as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn moments_are_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x: f64 = rng.sample(StandardNormal);
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn values_are_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.sample(StandardNormal);
+            assert!(x.is_finite());
+        }
+    }
+}

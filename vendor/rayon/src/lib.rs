@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the parallel-iterator API subset the workspace uses:
+//! `par_chunks(_mut)`, `into_par_iter` on ranges, and the adapter chain
+//! `enumerate`/`zip`/`map`/`step_by` ending in `for_each`/`collect`/`reduce`.
+//!
+//! Execution model: `for_each` fans work out over scoped `std::thread`
+//! workers pulling items from a shared queue — the embarrassingly parallel
+//! pattern the workspace's GEMM/SYRK/TTM kernels use. Everything that folds
+//! to a single value (`collect`, `reduce`, `sum`) runs sequentially, which
+//! keeps floating-point reduction order deterministic run to run (a property
+//! the real rayon does not guarantee and this reproduction prefers).
+
+use std::sync::Mutex;
+
+/// Number of worker threads the `for_each` path fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator whose
+/// `for_each` executes on multiple threads.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Keep every `step`-th item.
+    pub fn step_by(self, step: usize) -> ParIter<std::iter::StepBy<I>> {
+        ParIter(self.0.step_by(step))
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Transform each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Run `f` on every item, fanned out over worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        I::Item: Send,
+        F: Fn(I::Item) + Sync,
+    {
+        let items: Vec<I::Item> = self.0.collect();
+        let workers = current_num_threads().min(items.len());
+        if workers <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let queue = Mutex::new(items.into_iter());
+        let (fr, qr) = (&f, &queue);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let next = qr.lock().unwrap().next();
+                    match next {
+                        Some(item) => fr(item),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+
+    /// Collect into a container (sequential).
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Fold all items with `op`, starting from `identity()` (sequential,
+    /// deterministic order).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum all items (sequential, deterministic order).
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Non-overlapping chunks of at most `size` items.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Non-overlapping mutable chunks of at most `size` items.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// Conversion into a [`ParIter`].
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Wrap as a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod iter {
+    //! Mirror of `rayon::iter` for code that names the module path.
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+pub mod slice {
+    //! Mirror of `rayon::slice`.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_for_each_touches_everything() {
+        let mut data = vec![0u64; 10_000];
+        data.par_chunks_mut(97).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[97], 2);
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let src: Vec<usize> = (0..1000).collect();
+        let mut dst = vec![0usize; 1000];
+        dst.par_chunks_mut(10).zip(src.par_chunks(10)).for_each(|(d, s)| {
+            for (a, b) in d.iter_mut().zip(s) {
+                *a = b * 2;
+            }
+        });
+        assert_eq!(dst[499], 998);
+    }
+
+    #[test]
+    fn range_map_collect_and_reduce() {
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+        let total = (0..100)
+            .into_par_iter()
+            .map(|i| i as f64)
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, 4950.0);
+    }
+
+    #[test]
+    fn step_by_strides() {
+        let starts: Vec<usize> = (0..10).into_par_iter().step_by(3).collect();
+        assert_eq!(starts, vec![0, 3, 6, 9]);
+    }
+}
