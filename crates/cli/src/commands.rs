@@ -1,15 +1,18 @@
 //! Subcommand implementations for the `tucker` CLI.
 
 use crate::args::{parse_dims, Args};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tucker_core::tucker_io::{read_tucker, write_tucker};
 use tucker_core::{
-    sthosvd_parallel, sthosvd_with_info, ModeOrder, SthosvdConfig, SvdMethod, TuckerTensor,
+    sthosvd_parallel, sthosvd_parallel_checkpointed, sthosvd_with_info, CheckpointOptions,
+    ModeOrder, SthosvdConfig, SvdMethod, TuckerTensor,
 };
 use tucker_data::{hcci_surrogate, hash_noise, sp_surrogate, video_surrogate};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_linalg::Scalar;
-use tucker_mpisim::{chrome_trace_json, text_timeline, CostModel, Simulator, TraceConfig};
+use tucker_mpisim::{
+    chrome_trace_json, text_timeline, CostModel, FaultPlan, Simulator, TraceConfig,
+};
 use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision};
 use tucker_tensor::Tensor;
 
@@ -23,6 +26,8 @@ usage:
   tucker simulate [in.tns] --grid 2x2x2 [--kind hcci|sp|video|random --dims 32x32x32 --seed N]
                   [--tol 1e-4 | --ranks 5x5x5] [--method qr|gram|gram-mixed|randomized]
                   [--order forward|backward] [--trace out.json] [--timeline out.txt] [--validate]
+                  [--inject SPEC] [--watchdog-ms N] [--checkpoint-dir DIR] [--resume]
+                  (SPEC example: crash:rank=2,op=40;drop:rank=0,op=5,times=2)
   tucker info <file.tns|file.tkr>
   tucker error <original.tns> <reconstruction.tns>
   tucker help";
@@ -176,6 +181,11 @@ fn decompress(a: &Args) -> Result<(), String> {
 /// and a per-rank text timeline (`--timeline`). `--validate` turns on the
 /// collective-sequence validator and the deadlock watchdog (see DESIGN.md
 /// §Observability).
+///
+/// Fault-tolerance flags (DESIGN.md §Fault model): `--inject` runs under a
+/// deterministic fault plan, `--watchdog-ms` bounds wall-clock stalls,
+/// `--checkpoint-dir` commits per-mode checkpoints, and `--resume` restarts
+/// from the last committed mode in that directory.
 fn simulate(a: &Args) -> Result<(), String> {
     let grid_dims = parse_dims(a.opt("grid").ok_or("simulate requires --grid")?)?;
     let x: Tensor<f64> = if let Some(input) = a.positional.first() {
@@ -201,16 +211,34 @@ fn simulate(a: &Args) -> Result<(), String> {
     let cfg = build_config(a)?;
     let p: usize = grid_dims.iter().product();
 
+    let checkpoint = a.opt("checkpoint-dir").map(|dir| {
+        CheckpointOptions::new(dir).resume(a.flag("resume"))
+    });
+    if a.flag("resume") && checkpoint.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+
     let mut sim = Simulator::new(p).with_cost(CostModel::andes());
     if a.opt("trace").is_some() || a.opt("timeline").is_some() || a.flag("validate") {
         let tc = if a.flag("validate") { TraceConfig::validating() } else { TraceConfig::default() };
         sim = sim.with_trace(tc);
     }
+    if let Some(spec) = a.opt("inject") {
+        sim = sim.with_faults(FaultPlan::parse(spec).map_err(|e| format!("bad --inject: {e}"))?);
+    }
+    if let Some(ms) = a.opt("watchdog-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --watchdog-ms")?;
+        sim = sim.with_watchdog(Duration::from_millis(ms));
+    }
     let grid = ProcessorGrid::new(&grid_dims);
     let out = sim
         .run_result(|ctx| {
             let dt = DistTensor::scatter_from(&x, &grid, ctx.rank());
-            let po = sthosvd_parallel(ctx, &dt, &cfg).map_err(|e| e.to_string())?;
+            let po = match &checkpoint {
+                Some(opts) => sthosvd_parallel_checkpointed(ctx, &dt, &cfg, opts)
+                    .map_err(|e| e.to_string())?,
+                None => sthosvd_parallel(ctx, &dt, &cfg).map_err(|e| e.to_string())?,
+            };
             Ok::<_, String>((po.ranks(), po.estimated_error))
         })
         .map_err(|e| e.to_string())?;
@@ -425,6 +453,54 @@ mod tests {
         ))
         .unwrap());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn simulate_injected_crash_fails_naming_the_rank() {
+        let msg = run(&parse(&toks(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 2x2x2 \
+             --inject crash:rank=1,op=5 --watchdog-ms 5000",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(msg.contains("rank 1 crashed"), "error should name the crashed rank: {msg}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_inject_spec_and_lone_resume() {
+        let msg = run(&parse(&toks(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --inject explode:rank=1",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(msg.contains("--inject"), "{msg}");
+        let msg = run(&parse(&toks(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --resume",
+        ))
+        .unwrap())
+        .unwrap_err();
+        assert!(msg.contains("--checkpoint-dir"), "{msg}");
+    }
+
+    #[test]
+    fn simulate_crash_checkpoint_resume_cycle() {
+        let dir = tmpdir().join("ckpt_cycle");
+        let ck = dir.display().to_string();
+        // Crash partway through a checkpointed run...
+        let r = run(&parse(&toks(&format!(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 2x2x2 \
+             --checkpoint-dir {ck} --inject crash:rank=1,op=16 --watchdog-ms 5000"
+        )))
+        .unwrap());
+        assert!(r.is_err(), "injected crash should fail the simulation");
+        // ...then restart from the last committed mode, no injection this time.
+        run(&parse(&toks(&format!(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 2x2x2 \
+             --checkpoint-dir {ck} --resume"
+        )))
+        .unwrap())
+        .unwrap();
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! * [`model`] — closed-form α-β-γ cost model of §3.5, used to predict
 //!   paper-scale runs that exceed the host machine.
 
+pub mod checkpoint;
 pub mod config;
 pub mod hosvd;
 pub mod model;
@@ -32,8 +33,9 @@ pub mod truncate;
 pub mod tucker;
 pub mod tucker_io;
 
+pub use checkpoint::{sthosvd_parallel_checkpointed, CheckpointError, CheckpointOptions};
 pub use config::{ModeOrder, SthosvdConfig, SvdMethod, Truncation};
-pub use parallel::{sthosvd_parallel, ParallelOutput};
+pub use parallel::{hosvd_finish, hosvd_init, hosvd_step, sthosvd_parallel, HosvdState, ParallelOutput};
 pub use sthosvd::{sthosvd, sthosvd_with_info, SthosvdOutput};
 pub use hosvd::hosvd;
 pub use order::{optimize_mode_order, OrderSearch};

@@ -52,12 +52,12 @@ impl<T: Scalar> ParallelOutput<T> {
     /// Reconstruct the approximation as a distributed tensor, without ever
     /// gathering: a chain of prolongation TTMs `G ×_0 U_0 ··· ×_{N-1} U_{N-1}`
     /// (each a local multiply + fiber reduce-scatter).
-    pub fn reconstruct_distributed(&self, ctx: &mut Ctx) -> DistTensor<T> {
+    pub fn reconstruct_distributed(&self, ctx: &mut Ctx) -> Result<DistTensor<T>> {
         let mut y = self.core.clone();
         for (n, u) in self.factors.iter().enumerate() {
-            y = parallel_ttm_op(ctx, &y, n, u, false);
+            y = parallel_ttm_op(ctx, &y, n, u, false).map_err(LinalgError::from)?;
         }
-        y
+        Ok(y)
     }
 
     /// Exact relative error `‖X − X̂‖ / ‖X‖` against the distributed input,
@@ -69,8 +69,8 @@ impl<T: Scalar> ParallelOutput<T> {
         ctx: &mut Ctx,
         world: &mut Comm,
         x: &DistTensor<T>,
-    ) -> T {
-        let xhat = self.reconstruct_distributed(ctx);
+    ) -> Result<T> {
+        let xhat = self.reconstruct_distributed(ctx)?;
         assert_eq!(xhat.global_dims(), x.global_dims(), "shape mismatch");
         let local_diff_sq: T = x
             .local()
@@ -82,7 +82,7 @@ impl<T: Scalar> ParallelOutput<T> {
         let local_x_sq: T = x.local().data().iter().map(|&a| a * a).sum();
         ctx.charge_flops(4.0 * x.local().len() as f64, T::BYTES);
         let sums = world.allreduce_sum_vec(ctx, vec![local_diff_sq, local_x_sq]);
-        (sums[0].max(T::ZERO)).sqrt() / sums[1].sqrt()
+        Ok((sums[0].max(T::ZERO)).sqrt() / sums[1].sqrt())
     }
 
     /// Relative error via the core-norm identity (no reconstruction at all):
@@ -106,6 +106,159 @@ impl<T: Scalar> ParallelOutput<T> {
     }
 }
 
+/// In-flight state of a parallel ST-HOSVD: everything needed to process the
+/// next mode, and exactly what a checkpoint must persist to resume after a
+/// crash ([`crate::checkpoint`]).
+///
+/// The loop in [`sthosvd_parallel`] is `init → step × N → finish`; a
+/// checkpointed run serializes this struct between steps.
+#[derive(Debug)]
+pub struct HosvdState<T> {
+    /// Resolved mode-processing order (a permutation of `0..N`).
+    pub order: Vec<usize>,
+    /// Number of modes already truncated — the cursor into `order`.
+    pub done: usize,
+    /// `‖X‖` in working precision (fixed at init; restored bit-exactly on
+    /// resume so rank decisions never drift).
+    pub norm_x: T,
+    /// Per-mode tail threshold `ε²‖X‖²/N` (zero for fixed-rank/no
+    /// truncation). Deterministically recomputable from the config and
+    /// `norm_x`, so it is *not* checkpointed.
+    pub threshold: T,
+    /// The partially truncated distributed tensor (modes `order[..done]`
+    /// already shrunk).
+    pub y: DistTensor<T>,
+    /// Factor matrices of processed modes, indexed by mode.
+    pub factors: Vec<Option<Matrix<T>>>,
+    /// Singular value profiles of processed modes, indexed by mode.
+    pub singular_values: Vec<Vec<T>>,
+    /// Discarded tail energies `Σ σ²`, in processing order.
+    pub tails_sq: Vec<T>,
+}
+
+impl<T: Scalar> HosvdState<T> {
+    /// Have all modes been processed?
+    pub fn is_complete(&self) -> bool {
+        self.done == self.order.len()
+    }
+}
+
+/// Set up the state for a fresh run: resolve the mode order and compute the
+/// input norm (one all-reduce) and the truncation threshold.
+pub fn hosvd_init<T: Scalar>(
+    ctx: &mut Ctx,
+    world: &mut Comm,
+    x: &DistTensor<T>,
+    cfg: &SthosvdConfig,
+) -> HosvdState<T> {
+    let nmodes = x.global_dims().len();
+    let order = cfg.mode_order.resolve(nmodes);
+    let norm_x = x.norm(ctx, world);
+    let threshold = match &cfg.truncation {
+        Truncation::Tolerance(eps) => mode_threshold(*eps, norm_x, nmodes),
+        _ => T::ZERO,
+    };
+    HosvdState {
+        order,
+        done: 0,
+        norm_x,
+        threshold,
+        y: x.clone(),
+        factors: (0..nmodes).map(|_| None).collect(),
+        singular_values: (0..nmodes).map(|_| Vec::new()).collect(),
+        tails_sq: Vec::with_capacity(nmodes),
+    }
+}
+
+/// Process one mode: SVD of the unfolding, rank choice, truncation TTM.
+/// Advances `state.done` by one.
+pub fn hosvd_step<T: Scalar>(
+    ctx: &mut Ctx,
+    world: &mut Comm,
+    state: &mut HosvdState<T>,
+    cfg: &SthosvdConfig,
+) -> Result<()> {
+    assert!(!state.is_complete(), "hosvd_step called on a finished state");
+    let n = state.order[state.done];
+    let y = &state.y;
+    let m = y.global_dims()[n];
+    // Inner phases use both a flat label ("LQ") and a per-mode label
+    // ("LQ#n"): the flat one feeds whole-run breakdowns, the per-mode one
+    // feeds the paper's stacked per-mode bars (Figs. 2, 3b, 8b–10).
+    let (u, sigma) = match cfg.method {
+        SvdMethod::Gram => {
+            let g = ctx.phase("Gram", |c| {
+                c.phase(&format!("Gram#{n}"), |c2| parallel_gram(c2, world, y, n))
+            })?;
+            ctx.phase("EVD", |c| {
+                c.phase(&format!("EVD#{n}"), |c2| {
+                    c2.charge_flops(evd_flops(m), T::BYTES);
+                    gram_svd_from_gram(&g)
+                })
+            })?
+        }
+        SvdMethod::Randomized => {
+            return Err(LinalgError::DimensionMismatch {
+                op: "sthosvd_parallel",
+                details: "the randomized method is a sequential-only extension".into(),
+            })
+        }
+        SvdMethod::GramMixed => {
+            let g = ctx.phase("Gram", |c| {
+                c.phase(&format!("Gram#{n}"), |c2| parallel_gram_mixed(c2, world, y, n))
+            })?;
+            ctx.phase("EVD", |c| {
+                c.phase(&format!("EVD#{n}"), |c2| {
+                    // The eigendecomposition runs in f64.
+                    c2.charge_flops(evd_flops(m), 8);
+                    gram_svd_mixed_from_gram(&g)
+                })
+            })?
+        }
+        SvdMethod::Qr => {
+            let l = ctx.phase("LQ", |c| {
+                c.phase(&format!("LQ#{n}"), |c2| {
+                    parallel_tensor_lq(c2, world, y, n, cfg.tree, cfg.tslq)
+                })
+            })?;
+            ctx.phase("SVD", |c| {
+                c.phase(&format!("SVD#{n}"), |c2| {
+                    c2.charge_flops(svd_flops(m), T::BYTES);
+                    svd_left(l.as_ref())
+                })
+            })?
+        }
+    };
+    let r_n = match &cfg.truncation {
+        Truncation::Tolerance(_) => choose_rank(&sigma, state.threshold),
+        Truncation::Ranks(r) => r[n].min(m),
+        Truncation::None => m,
+    };
+    let tail: T = sigma[r_n..].iter().map(|&s| s * s).sum();
+    let u_n = u.truncate_cols(r_n);
+    let truncated = ctx
+        .phase("TTM", |c| c.phase(&format!("TTM#{n}"), |c2| parallel_ttm(c2, y, n, &u_n)))?;
+    state.y = truncated;
+    state.tails_sq.push(tail);
+    state.factors[n] = Some(u_n);
+    state.singular_values[n] = sigma;
+    state.done += 1;
+    Ok(())
+}
+
+/// Turn a completed state into the final per-rank output.
+pub fn hosvd_finish<T: Scalar>(state: HosvdState<T>) -> ParallelOutput<T> {
+    assert!(state.is_complete(), "hosvd_finish called before all modes were processed");
+    let est = estimated_error(&state.tails_sq, state.norm_x);
+    ParallelOutput {
+        factors: state.factors.into_iter().map(|f| f.expect("every mode processed")).collect(),
+        core: state.y,
+        singular_values: state.singular_values,
+        norm_x: state.norm_x,
+        estimated_error: est,
+    }
+}
+
 /// Run parallel ST-HOSVD. Every rank calls this with its block of `x`;
 /// returns per-rank output with replicated factors.
 pub fn sthosvd_parallel<T: Scalar>(
@@ -113,94 +266,12 @@ pub fn sthosvd_parallel<T: Scalar>(
     x: &DistTensor<T>,
     cfg: &SthosvdConfig,
 ) -> Result<ParallelOutput<T>> {
-    let nmodes = x.global_dims().len();
-    let order = cfg.mode_order.resolve(nmodes);
     let mut world = Comm::world(ctx);
-    let norm_x = x.norm(ctx, &mut world);
-    let threshold = match &cfg.truncation {
-        Truncation::Tolerance(eps) => mode_threshold(*eps, norm_x, nmodes),
-        _ => T::ZERO,
-    };
-
-    let mut y = x.clone();
-    let mut factors: Vec<Option<Matrix<T>>> = (0..nmodes).map(|_| None).collect();
-    let mut singular_values: Vec<Vec<T>> = (0..nmodes).map(|_| Vec::new()).collect();
-    let mut tails_sq: Vec<T> = Vec::with_capacity(nmodes);
-
-    for &n in &order {
-        let m = y.global_dims()[n];
-        // Inner phases use both a flat label ("LQ") and a per-mode label
-        // ("LQ#n"): the flat one feeds whole-run breakdowns, the per-mode one
-        // feeds the paper's stacked per-mode bars (Figs. 2, 3b, 8b–10).
-        let (u, sigma) = match cfg.method {
-            SvdMethod::Gram => {
-                let g = ctx.phase("Gram", |c| {
-                    c.phase(&format!("Gram#{n}"), |c2| parallel_gram(c2, &mut world, &y, n))
-                });
-                ctx.phase("EVD", |c| {
-                    c.phase(&format!("EVD#{n}"), |c2| {
-                        c2.charge_flops(evd_flops(m), T::BYTES);
-                        gram_svd_from_gram(&g)
-                    })
-                })?
-            }
-            SvdMethod::Randomized => {
-                return Err(LinalgError::DimensionMismatch {
-                    op: "sthosvd_parallel",
-                    details: "the randomized method is a sequential-only extension".into(),
-                })
-            }
-            SvdMethod::GramMixed => {
-                let g = ctx.phase("Gram", |c| {
-                    c.phase(&format!("Gram#{n}"), |c2| {
-                        parallel_gram_mixed(c2, &mut world, &y, n)
-                    })
-                });
-                ctx.phase("EVD", |c| {
-                    c.phase(&format!("EVD#{n}"), |c2| {
-                        // The eigendecomposition runs in f64.
-                        c2.charge_flops(evd_flops(m), 8);
-                        gram_svd_mixed_from_gram(&g)
-                    })
-                })?
-            }
-            SvdMethod::Qr => {
-                let l = ctx.phase("LQ", |c| {
-                    c.phase(&format!("LQ#{n}"), |c2| {
-                        parallel_tensor_lq(c2, &mut world, &y, n, cfg.tree, cfg.tslq)
-                    })
-                });
-                ctx.phase("SVD", |c| {
-                    c.phase(&format!("SVD#{n}"), |c2| {
-                        c2.charge_flops(svd_flops(m), T::BYTES);
-                        svd_left(l.as_ref())
-                    })
-                })?
-            }
-        };
-        let r_n = match &cfg.truncation {
-            Truncation::Tolerance(_) => choose_rank(&sigma, threshold),
-            Truncation::Ranks(r) => r[n].min(m),
-            Truncation::None => m,
-        };
-        let tail: T = sigma[r_n..].iter().map(|&s| s * s).sum();
-        tails_sq.push(tail);
-        let u_n = u.truncate_cols(r_n);
-        y = ctx.phase("TTM", |c| {
-            c.phase(&format!("TTM#{n}"), |c2| parallel_ttm(c2, &y, n, &u_n))
-        });
-        factors[n] = Some(u_n);
-        singular_values[n] = sigma;
+    let mut state = hosvd_init(ctx, &mut world, x, cfg);
+    while !state.is_complete() {
+        hosvd_step(ctx, &mut world, &mut state, cfg)?;
     }
-
-    let est = estimated_error(&tails_sq, norm_x);
-    Ok(ParallelOutput {
-        factors: factors.into_iter().map(|f| f.expect("every mode processed")).collect(),
-        core: y,
-        singular_values,
-        norm_x,
-        estimated_error: est,
-    })
+    Ok(hosvd_finish(state))
 }
 
 #[cfg(test)]
@@ -332,7 +403,7 @@ mod tests {
             let cfg = SthosvdConfig::with_tolerance(1e-2);
             let r = sthosvd_parallel(ctx, &dt, &cfg).unwrap();
             let mut world = Comm::world(ctx);
-            let exact = r.relative_error_distributed(ctx, &mut world, &dt).to_f64();
+            let exact = r.relative_error_distributed(ctx, &mut world, &dt).unwrap().to_f64();
             let via_core = r.relative_error_via_core(ctx, &mut world).to_f64();
             let gathered = r.to_tucker(ctx, &mut world).relative_error(&x).to_f64();
             (exact, via_core, gathered)
@@ -352,7 +423,7 @@ mod tests {
             let cfg = SthosvdConfig::with_tolerance(1e-2).method(SvdMethod::GramMixed);
             let r = sthosvd_parallel(ctx, &dt, &cfg).unwrap();
             let mut world = Comm::world(ctx);
-            (r.ranks(), r.relative_error_distributed(ctx, &mut world, &dt).to_f64())
+            (r.ranks(), r.relative_error_distributed(ctx, &mut world, &dt).unwrap().to_f64())
         });
         let seq = sthosvd_with_info(&x32, &SthosvdConfig::with_tolerance(1e-2).method(SvdMethod::GramMixed)).unwrap();
         for (ranks, err) in out.results {

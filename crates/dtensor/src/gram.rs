@@ -6,6 +6,7 @@
 //! Gram matrix.
 
 use crate::dist::DistTensor;
+use crate::guard::{check_finite, NumericalFault};
 use crate::redistribute::redistribute_to_columns;
 use tucker_linalg::mixed::syrk_lower_f64_acc;
 use tucker_linalg::{syrk_lower, Matrix, Scalar};
@@ -14,12 +15,16 @@ use tucker_tensor::Unfolding;
 
 /// Gram matrix `G = X_(n) X_(n)ᵀ` of the mode-`n` unfolding of a distributed
 /// tensor, returned redundantly (identically) on every rank.
+///
+/// Guarded: non-finite values after the fiber redistribution or the world
+/// all-reduce surface as a typed [`NumericalFault`] instead of flowing into
+/// the eigendecomposition.
 pub fn parallel_gram<T: Scalar>(
     ctx: &mut Ctx,
     world: &mut Comm,
     dt: &DistTensor<T>,
     n: usize,
-) -> Matrix<T> {
+) -> Result<Matrix<T>, NumericalFault> {
     let m = dt.global_dims()[n];
     let p_n = dt.grid().dims()[n];
 
@@ -38,13 +43,15 @@ pub fn parallel_gram<T: Scalar>(
         acc
     } else {
         let z = ctx.phase("Redistribute", |c| redistribute_to_columns(c, dt, n));
+        check_finite(ctx.rank(), "Gram/redistribute", n, z.data())?;
         ctx.charge_syrk_flops(m as f64 * m as f64 * z.cols() as f64, T::BYTES);
         syrk_lower(z.as_ref())
     };
 
     let summed =
         ctx.phase("Gram/allreduce", |c| world.allreduce_sum_vec(c, local_g.into_data()));
-    Matrix::from_col_major(m, m, summed)
+    check_finite(ctx.rank(), "Gram/allreduce", n, &summed)?;
+    Ok(Matrix::from_col_major(m, m, summed))
 }
 
 /// Mixed-precision parallel Gram (the paper's §5 future work): the local
@@ -56,7 +63,7 @@ pub fn parallel_gram_mixed<T: Scalar>(
     world: &mut Comm,
     dt: &DistTensor<T>,
     n: usize,
-) -> Matrix<f64> {
+) -> Result<Matrix<f64>, NumericalFault> {
     let m = dt.global_dims()[n];
     let p_n = dt.grid().dims()[n];
 
@@ -74,13 +81,15 @@ pub fn parallel_gram_mixed<T: Scalar>(
         acc
     } else {
         let z = ctx.phase("Redistribute", |c| redistribute_to_columns(c, dt, n));
+        check_finite(ctx.rank(), "Gram/redistribute", n, z.data())?;
         ctx.charge_syrk_flops(m as f64 * m as f64 * z.cols() as f64, 8);
         syrk_lower_f64_acc(z.as_ref())
     };
 
     let summed =
         ctx.phase("Gram/allreduce", |c| world.allreduce_sum_vec(c, local_g.into_data()));
-    Matrix::from_col_major(m, m, summed)
+    check_finite(ctx.rank(), "Gram/allreduce", n, &summed)?;
+    Ok(Matrix::from_col_major(m, m, summed))
 }
 
 #[cfg(test)]
@@ -106,7 +115,7 @@ mod tests {
         let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(grid_dims), ctx.rank());
             let mut world = Comm::world(ctx);
-            parallel_gram(ctx, &mut world, &dt, n)
+            parallel_gram(ctx, &mut world, &dt, n).unwrap()
         });
         let want = syrk_lower(Unfolding::new(&x, n).to_matrix().as_ref());
         for g in out.results {
@@ -147,11 +156,34 @@ mod tests {
         let out = Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x32, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
             let mut world = Comm::world(ctx);
-            parallel_gram(ctx, &mut world, &dt, 0)
+            parallel_gram(ctx, &mut world, &dt, 0).unwrap()
         });
         let want = syrk_lower(Unfolding::new(&x32, 0).to_matrix().as_ref());
         for g in out.results {
             assert!(g.max_abs_diff(&want) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nan_input_is_detected_as_numerical_fault() {
+        let dims = [4, 4, 4];
+        let mut x = test_tensor(&dims);
+        x.data_mut()[5] = f64::NAN;
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .run_result(|ctx| {
+                let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
+                let mut world = Comm::world(ctx);
+                parallel_gram(ctx, &mut world, &dt, 0)
+            })
+            .unwrap_err();
+        match err {
+            tucker_mpisim::SimFailure::Rank { error, .. } => {
+                // First guard to see the NaN wins: either boundary is fine.
+                assert!(error.phase.starts_with("Gram/"), "{}", error.phase);
+                assert!(error.to_string().contains("non-finite"), "{error}");
+            }
+            tucker_mpisim::SimFailure::Sim(e) => panic!("expected NumericalFault, got {e}"),
         }
     }
 
@@ -162,7 +194,7 @@ mod tests {
         let out = Simulator::new(2).with_cost(CostModel::andes()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
             let mut world = Comm::world(ctx);
-            let _ = parallel_gram(ctx, &mut world, &dt, 0);
+            let _ = parallel_gram(ctx, &mut world, &dt, 0).unwrap();
         });
         // Each rank's syrk charge: m*m*local_cols = 4*4*8 = 128 (plus reduce adds).
         for s in &out.stats {

@@ -16,10 +16,13 @@
 //! * [`lq`] — parallel LQ of an unfolding: local (Tensor)LQ + butterfly
 //!   TSQR over packed triangles (Alg. 3, QR-SVD path).
 //! * [`ttm`] — parallel TTM truncation: local TTM + fiber reduce-scatter.
+//! * [`guard`] — NaN/Inf guards at the kernel boundaries; surface a typed
+//!   [`NumericalFault`] naming rank, phase and first offending index.
 
 pub mod dist;
 pub mod grid;
 pub mod gram;
+pub mod guard;
 pub mod lq;
 pub mod redistribute;
 pub mod ttm;
@@ -27,6 +30,7 @@ pub mod ttm;
 pub use dist::{block_range, DistTensor};
 pub use gram::{parallel_gram, parallel_gram_mixed};
 pub use grid::ProcessorGrid;
+pub use guard::{check_finite, NumericalFault};
 pub use lq::{parallel_tensor_lq, ReductionTree};
 pub use redistribute::redistribute_to_columns;
 pub use ttm::{parallel_ttm, parallel_ttm_op};

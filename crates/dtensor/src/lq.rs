@@ -16,6 +16,7 @@
 //! `γ(2·J_n·J*/P* + O(J_n³ log P))  +  β(J*/P* + J_n² log P)  +  α(P_n + log P)`.
 
 use crate::dist::DistTensor;
+use crate::guard::{check_finite, NumericalFault};
 use crate::redistribute::redistribute_to_columns;
 use tucker_linalg::lq::{gelqf, lq_l_padded};
 use tucker_linalg::tplqt::tplqt_pair;
@@ -46,6 +47,10 @@ fn lq_flops(m: usize, n: usize) -> f64 {
 
 /// Parallel LQ of the mode-`n` unfolding: returns the `J_n x J_n` lower
 /// triangular factor `L`, identical on every rank.
+///
+/// Guarded: non-finite values after the fiber redistribution or the TSQR
+/// reduction surface as a typed [`NumericalFault`] instead of flowing into
+/// the SVD of `L`.
 pub fn parallel_tensor_lq<T: Scalar>(
     ctx: &mut Ctx,
     world: &mut Comm,
@@ -53,7 +58,7 @@ pub fn parallel_tensor_lq<T: Scalar>(
     n: usize,
     tree: ReductionTree,
     tslq_opts: TslqOptions,
-) -> Matrix<T> {
+) -> Result<Matrix<T>, NumericalFault> {
     let m = dt.global_dims()[n];
     let p_n = dt.grid().dims()[n];
 
@@ -65,6 +70,7 @@ pub fn parallel_tensor_lq<T: Scalar>(
         tslq_blocks(m, unf.blocks(), tslq_opts)
     } else {
         let z = ctx.phase("Redistribute", |c| redistribute_to_columns(c, dt, n));
+        check_finite(ctx.rank(), "LQ/redistribute", n, z.data())?;
         ctx.charge_flops(lq_flops(m, z.cols()), T::BYTES);
         let mut zm = z;
         gelqf(&mut zm.as_mut());
@@ -77,7 +83,8 @@ pub fn parallel_tensor_lq<T: Scalar>(
         ReductionTree::Butterfly => butterfly_reduce(c, world, &mut l),
         ReductionTree::Binomial => binomial_reduce(c, world, &mut l),
     });
-    l
+    check_finite(ctx.rank(), "LQ/reduce", n, l.data())?;
+    Ok(l)
 }
 
 /// Pack the lower triangle of a square matrix column-by-column.
@@ -235,7 +242,7 @@ mod tests {
         let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(grid_dims), ctx.rank());
             let mut world = Comm::world(ctx);
-            parallel_tensor_lq(ctx, &mut world, &dt, n, tree, TslqOptions::default())
+            parallel_tensor_lq(ctx, &mut world, &dt, n, tree, TslqOptions::default()).unwrap()
         });
         // L Lᵀ must equal the Gram matrix of the global unfolding, and all
         // ranks must hold the identical L.
@@ -301,6 +308,26 @@ mod tests {
     }
 
     #[test]
+    fn inf_input_is_detected_as_numerical_fault() {
+        let mut x = test_tensor(&[4, 4, 4]);
+        x.data_mut()[9] = f64::INFINITY;
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .run_result(|ctx| {
+                let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
+                let mut world = Comm::world(ctx);
+                parallel_tensor_lq(ctx, &mut world, &dt, 0, ReductionTree::Butterfly, TslqOptions::default())
+            })
+            .unwrap_err();
+        match err {
+            tucker_mpisim::SimFailure::Rank { error, .. } => {
+                assert!(error.phase.starts_with("LQ/"), "{}", error.phase);
+            }
+            tucker_mpisim::SimFailure::Sim(e) => panic!("expected NumericalFault, got {e}"),
+        }
+    }
+
+    #[test]
     fn single_precision_lq() {
         let dims = [4, 4, 4];
         let x64 = test_tensor(&dims);
@@ -309,6 +336,7 @@ mod tests {
             let dt = DistTensor::scatter_from(&x32, &ProcessorGrid::new(&[2, 2, 1]), ctx.rank());
             let mut world = Comm::world(ctx);
             parallel_tensor_lq(ctx, &mut world, &dt, 0, ReductionTree::Butterfly, TslqOptions::default())
+                .unwrap()
         });
         let want = syrk_lower(Unfolding::new(&x32, 0).to_matrix().as_ref());
         for l in out.results {

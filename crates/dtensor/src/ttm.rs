@@ -10,6 +10,7 @@
 //! `R_n`.
 
 use crate::dist::{block_range, DistTensor};
+use crate::guard::{check_finite, NumericalFault};
 use tucker_linalg::{Matrix, Scalar};
 use tucker_mpisim::{Comm, Ctx};
 use tucker_tensor::{prod_after, prod_before, ttm, Tensor};
@@ -21,7 +22,7 @@ pub fn parallel_ttm<T: Scalar>(
     dt: &DistTensor<T>,
     n: usize,
     u: &Matrix<T>,
-) -> DistTensor<T> {
+) -> Result<DistTensor<T>, NumericalFault> {
     parallel_ttm_op(ctx, dt, n, u, true)
 }
 
@@ -33,13 +34,16 @@ pub fn parallel_ttm<T: Scalar>(
 ///
 /// Either way each rank multiplies its owned slice of `U` against its local
 /// block and a fiber reduce-scatter redistributes the output mode.
+///
+/// Guarded: non-finite values in the local partial product or after the
+/// fiber reduce-scatter surface as a typed [`NumericalFault`].
 pub fn parallel_ttm_op<T: Scalar>(
     ctx: &mut Ctx,
     dt: &DistTensor<T>,
     n: usize,
     u: &Matrix<T>,
     transpose: bool,
-) -> DistTensor<T> {
+) -> Result<DistTensor<T>, NumericalFault> {
     let j_n = dt.global_dims()[n];
     let (in_dim, r) = if transpose { (u.rows(), u.cols()) } else { (u.cols(), u.rows()) };
     assert_eq!(in_dim, j_n, "parallel_ttm: factor inner dimension must match mode-{n}");
@@ -60,12 +64,13 @@ pub fn parallel_ttm_op<T: Scalar>(
         c.charge_flops(2.0 * r as f64 * b_n as f64 * local_cols, T::BYTES);
         ttm(dt.local(), n, u_loc, transpose)
     });
+    check_finite(ctx.rank(), "TTM/local", n, partial.data())?;
 
     let mut new_global = dt.global_dims().to_vec();
     new_global[n] = r;
 
     if p_n == 1 {
-        return dt.with_local(new_global, partial);
+        return Ok(dt.with_local(new_global, partial));
     }
 
     // Split the partial along mode n into per-fiber-rank chunks and
@@ -88,12 +93,13 @@ pub fn parallel_ttm_op<T: Scalar>(
     let fiber = dt.grid().fiber(dt.coords(), n);
     let mut comm = Comm::subset(ctx, fiber);
     let mine = ctx.phase("TTM/reduce_scatter", |c| comm.reduce_scatter_vec(c, chunks));
+    check_finite(ctx.rank(), "TTM/reduce_scatter", n, &mine)?;
 
     let my_new_rows = block_range(r, p_n, dt.coords()[n]).len();
     let mut new_local_dims = dt.local().dims().to_vec();
     new_local_dims[n] = my_new_rows;
     let local = Tensor::from_data(&new_local_dims, mine);
-    dt.with_local(new_global, local)
+    Ok(dt.with_local(new_global, local))
 }
 
 #[cfg(test)]
@@ -118,7 +124,7 @@ mod tests {
         let p: usize = grid_dims.iter().product();
         let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(grid_dims), ctx.rank());
-            let y = parallel_ttm(ctx, &dt, n, &u);
+            let y = parallel_ttm(ctx, &dt, n, &u).unwrap();
             let mut world = Comm::world(ctx);
             y.gather(ctx, &mut world)
         });
@@ -177,7 +183,7 @@ mod tests {
             let want = ttm(&x, n, u.as_ref(), false);
             let out = Simulator::new(4).with_cost(CostModel::zero()).run(|ctx| {
                 let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&[2, 2, 1]), ctx.rank());
-                let y = parallel_ttm_op(ctx, &dt, n, &u, false);
+                let y = parallel_ttm_op(ctx, &dt, n, &u, false).unwrap();
                 let mut world = tucker_mpisim::Comm::world(ctx);
                 y.gather(ctx, &mut world)
             });
@@ -194,7 +200,7 @@ mod tests {
         let u = Matrix::from_fn(6, 4, |i, j| ((i + j) as f64).sin());
         let out = Simulator::new(2).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&[2, 1, 1]), ctx.rank());
-            let y = parallel_ttm(ctx, &dt, 0, &u);
+            let y = parallel_ttm(ctx, &dt, 0, &u).unwrap();
             (y.local().dims().to_vec(), y.owned_range(0))
         });
         // R = 4 over P_0 = 2 → rows 0..2 and 2..4.

@@ -27,6 +27,19 @@ pub enum LinalgError {
         /// Name of the operation that was attempted.
         op: &'static str,
     },
+    /// A NaN/Inf was detected at a numerical-guard boundary (unfolding,
+    /// Gram, LQ, TTM). Raised instead of silently propagating garbage —
+    /// typically the surfaced form of a detected in-transit corruption.
+    NonFinite {
+        /// The guarded phase, e.g. `Gram/allreduce`.
+        phase: String,
+        /// The rank that detected it (0 in sequential code).
+        rank: usize,
+        /// The tensor mode being processed.
+        mode: usize,
+        /// First offending flat index within the guarded buffer.
+        index: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -39,6 +52,11 @@ impl fmt::Display for LinalgError {
                 write!(f, "{op}: no convergence at index {index} after {iterations} iterations")
             }
             LinalgError::EmptyMatrix { op } => write!(f, "{op}: empty matrix"),
+            LinalgError::NonFinite { phase, rank, mode, index } => write!(
+                f,
+                "non-finite value detected on rank {rank} after {phase} \
+                 (mode {mode}, first offending index {index})"
+            ),
         }
     }
 }

@@ -84,6 +84,10 @@ pub trait Scalar:
     fn powi(self, n: i32) -> Self;
     /// True if the value is finite.
     fn is_finite(self) -> bool;
+    /// Flip bit `bit % (BYTES*8)` of the IEEE-754 representation. Used by
+    /// fault injection to model in-transit corruption: an exponent-bit flip
+    /// of a normal value yields a non-finite one the numerical guards catch.
+    fn flip_bit(self, bit: u32) -> Self;
 }
 
 macro_rules! impl_scalar {
@@ -144,6 +148,11 @@ macro_rules! impl_scalar {
             fn is_finite(self) -> bool {
                 <$t>::is_finite(self)
             }
+            #[inline(always)]
+            fn flip_bit(self, bit: u32) -> Self {
+                let width = (Self::BYTES * 8) as u32;
+                <$t>::from_bits(self.to_bits() ^ (1 << (bit % width)))
+            }
         }
     };
 }
@@ -191,5 +200,20 @@ mod tests {
     #[test]
     fn from_usize_roundtrip() {
         assert_eq!(<f64 as Scalar>::from_usize(12345).to_f64(), 12345.0);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive_and_hits_the_exponent() {
+        // Flipping the top exponent bit of a value in [1, 2) (biased exponent
+        // 0x3FF / 0x7F) saturates the exponent: the result is non-finite.
+        assert!(!Scalar::flip_bit(1.5f64, 62).is_finite());
+        assert!(!Scalar::flip_bit(1.5f32, 30).is_finite());
+        // Involution: flipping the same bit twice restores the exact value.
+        assert_eq!(Scalar::flip_bit(Scalar::flip_bit(1.5f64, 62), 62), 1.5);
+        // A low mantissa flip is a tiny, still-finite perturbation.
+        let v = Scalar::flip_bit(1.5f64, 0);
+        assert!(v.is_finite() && v != 1.5);
+        // Bit index wraps modulo the scalar width.
+        assert_eq!(Scalar::flip_bit(1.5f64, 64), Scalar::flip_bit(1.5f64, 0));
     }
 }

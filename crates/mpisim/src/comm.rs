@@ -9,6 +9,7 @@
 //! SPMD contract: all members of a communicator must create it, and call its
 //! collectives, in the same program order — the same requirement MPI imposes.
 
+use crate::error::MpiSimError;
 use crate::runtime::Ctx;
 use crate::wire::Wire;
 use tucker_linalg::Scalar;
@@ -174,7 +175,17 @@ impl Comm {
             if src_rr < size {
                 let src = (src_rr + root) % size;
                 let other: Vec<T> = self.recv_sub(ctx, base, 0, src);
-                assert_eq!(other.len(), acc.len(), "reduce: length mismatch");
+                // Reachable whenever user code (or an injected fault)
+                // produces differently-sized contributions on two ranks —
+                // report it typed instead of dying on a bare assert.
+                if other.len() != acc.len() {
+                    ctx.raise(MpiSimError::CollectiveLengthMismatch {
+                        rank: ctx.rank(),
+                        op: "reduce_sum_vec",
+                        expected: acc.len(),
+                        actual: other.len(),
+                    });
+                }
                 // The reduction arithmetic itself is charged to the clock.
                 ctx.charge_flops(acc.len() as f64, T::BYTES);
                 for (a, b) in acc.iter_mut().zip(other) {
@@ -247,7 +258,14 @@ impl Comm {
             if i == 0 {
                 acc = chunk;
             } else {
-                assert_eq!(chunk.len(), acc.len(), "reduce_scatter: length mismatch");
+                if chunk.len() != acc.len() {
+                    ctx.raise(MpiSimError::CollectiveLengthMismatch {
+                        rank: ctx.rank(),
+                        op: "reduce_scatter_vec",
+                        expected: acc.len(),
+                        actual: chunk.len(),
+                    });
+                }
                 ctx.charge_flops(acc.len() as f64, T::BYTES);
                 for (a, b) in acc.iter_mut().zip(chunk) {
                     *a += b;
@@ -280,6 +298,24 @@ mod tests {
 
     fn sim(p: usize) -> Simulator {
         Simulator::new(p).with_cost(CostModel::zero())
+    }
+
+    #[test]
+    fn mismatched_reduce_lengths_are_a_typed_error() {
+        let err = sim(2)
+            .try_run(|ctx| {
+                let len = if ctx.rank() == 0 { 3 } else { 2 };
+                let mut world = Comm::world(ctx);
+                world.reduce_sum_vec(ctx, 0, vec![1.0f64; len])
+            })
+            .unwrap_err();
+        match err {
+            MpiSimError::CollectiveLengthMismatch { op, expected, actual, .. } => {
+                assert_eq!(op, "reduce_sum_vec");
+                assert_eq!((expected, actual), (3, 2));
+            }
+            other => panic!("expected CollectiveLengthMismatch, got {other}"),
+        }
     }
 
     #[test]

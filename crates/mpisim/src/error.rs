@@ -68,6 +68,58 @@ pub enum MpiSimError {
         /// Tag the rank was waiting for.
         tag: u64,
     },
+    /// A rank was killed by an injected [`crate::FaultKind::Crash`].
+    RankCrashed {
+        /// The rank that died.
+        rank: usize,
+        /// Its point-to-point op counter at the moment of death.
+        op_index: u64,
+        /// Innermost phase it was executing (`"<no phase>"` outside any).
+        phase: String,
+    },
+    /// ULFM-style failure notification: a rank tried to communicate with a
+    /// peer that was killed by an injected crash. Unlike
+    /// [`MpiSimError::PeerDisconnected`] this names the op and phase the peer
+    /// died in, so survivors can report the root cause.
+    PeerFailed {
+        /// The surviving rank that noticed.
+        rank: usize,
+        /// The crashed peer.
+        peer: usize,
+        /// Tag the survivor was using.
+        tag: u64,
+        /// The peer's op counter when it crashed.
+        peer_op: u64,
+        /// The phase the peer crashed in.
+        peer_phase: String,
+    },
+    /// A send hit an injected [`crate::FaultKind::Drop`] whose loss count
+    /// exhausted the bounded retry budget ([`crate::MAX_SEND_RETRIES`]).
+    RetriesExhausted {
+        /// The sending rank that gave up.
+        rank: usize,
+        /// The destination rank.
+        peer: usize,
+        /// Message tag.
+        tag: u64,
+        /// Retransmissions attempted before giving up.
+        attempts: u32,
+        /// The sender's op counter at the faulted send.
+        op_index: u64,
+    },
+    /// Two members of the same reduction passed buffers of different
+    /// lengths — an SPMD contract violation that previously died on a bare
+    /// `assert_eq!` inside the collective.
+    CollectiveLengthMismatch {
+        /// The rank that detected the mismatch.
+        rank: usize,
+        /// The collective operation ("reduce_sum_vec", "reduce_scatter_vec").
+        op: &'static str,
+        /// Length of this rank's own buffer.
+        expected: usize,
+        /// Length of the contribution it received.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for MpiSimError {
@@ -99,6 +151,25 @@ impl fmt::Display for MpiSimError {
             MpiSimError::PeerDisconnected { rank, peer, tag } => write!(
                 f,
                 "rank {rank} was waiting on rank {peer} (tag {tag}) but the peer exited"
+            ),
+            MpiSimError::RankCrashed { rank, op_index, phase } => write!(
+                f,
+                "rank {rank} crashed (injected fault) at op {op_index} in phase `{phase}`"
+            ),
+            MpiSimError::PeerFailed { rank, peer, tag, peer_op, peer_phase } => write!(
+                f,
+                "rank {rank} lost contact with rank {peer} (tag {tag}): \
+                 that rank crashed at op {peer_op} in phase `{peer_phase}`"
+            ),
+            MpiSimError::RetriesExhausted { rank, peer, tag, attempts, op_index } => write!(
+                f,
+                "rank {rank} gave up sending to rank {peer} (tag {tag}) after \
+                 {attempts} retransmissions at op {op_index}"
+            ),
+            MpiSimError::CollectiveLengthMismatch { rank, op, expected, actual } => write!(
+                f,
+                "rank {rank}: {op} buffer length mismatch: this rank holds \
+                 {expected} elements but received a contribution of {actual}"
             ),
         }
     }
@@ -176,6 +247,38 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("rank 3") && s.contains("allreduce_sum_vec<f64>"), "{s}");
         assert!(s.contains("rank 5") && s.contains("bcast<f64>(root=0)"), "{s}");
+    }
+
+    #[test]
+    fn fault_errors_name_rank_op_and_phase() {
+        let e = MpiSimError::RankCrashed { rank: 3, op_index: 41, phase: "TTM".into() };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("op 41") && s.contains("TTM"), "{s}");
+
+        let e = MpiSimError::PeerFailed {
+            rank: 0,
+            peer: 3,
+            tag: 9,
+            peer_op: 41,
+            peer_phase: "TTM".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0") && s.contains("rank 3"), "{s}");
+        assert!(s.contains("op 41") && s.contains("TTM"), "{s}");
+
+        let e = MpiSimError::RetriesExhausted { rank: 1, peer: 2, tag: 5, attempts: 8, op_index: 7 };
+        let s = e.to_string();
+        assert!(s.contains("rank 1") && s.contains("rank 2") && s.contains("8"), "{s}");
+
+        let e = MpiSimError::CollectiveLengthMismatch {
+            rank: 4,
+            op: "reduce_sum_vec",
+            expected: 10,
+            actual: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 4") && s.contains("reduce_sum_vec"), "{s}");
+        assert!(s.contains("10") && s.contains('7'), "{s}");
     }
 
     #[test]

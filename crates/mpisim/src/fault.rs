@@ -1,0 +1,259 @@
+//! Declarative, deterministic fault injection for the simulated machine.
+//!
+//! A [`FaultPlan`] is a static list of faults keyed by `(rank, op index)`,
+//! where the op index is the rank's own monotone count of point-to-point
+//! operations (every `send` and every `recv` increments it by one). Nothing
+//! at runtime consults the wall clock or a random number generator, so the
+//! same plan against the same program triggers the same faults at exactly the
+//! same points on every run — chaos tests are replayable by construction.
+//!
+//! Supported fault kinds:
+//! * [`FaultKind::Crash`] — the rank dies at the op, as if the process was
+//!   killed. Survivors observe a ULFM-style
+//!   [`crate::MpiSimError::PeerFailed`] naming the dead rank and the op it
+//!   died in.
+//! * [`FaultKind::Drop`] — the message is lost `times` times; the sender
+//!   retransmits with exponential backoff in virtual time. Exceeding
+//!   [`MAX_SEND_RETRIES`] surfaces [`crate::MpiSimError::RetriesExhausted`].
+//! * [`FaultKind::Delay`] — the message arrives late: extra virtual seconds
+//!   on the receiver's clock sync, plus an optional bounded *wall* sleep to
+//!   exercise the deadlock watchdog (which auto-extends by the plan's total
+//!   wall delay so injected latency is not misreported as a deadlock).
+//! * [`FaultKind::Corrupt`] — one element of the payload has one bit of its
+//!   IEEE-754 representation flipped in transit. Exponent-bit flips produce
+//!   non-finite values that the numerical guards downstream detect and
+//!   report; low mantissa flips model silent corruption.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Upper bound on retransmissions before a send gives up with
+/// [`crate::MpiSimError::RetriesExhausted`]. A [`FaultKind::Drop`] with
+/// `times >= MAX_SEND_RETRIES` deterministically exhausts the budget.
+pub const MAX_SEND_RETRIES: u32 = 8;
+
+/// What happens at the faulted operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The rank dies at this op (send or recv), as if killed.
+    Crash,
+    /// The outgoing message is lost `times` times before getting through;
+    /// each loss costs a retransmission plus exponential backoff in virtual
+    /// time. Only meaningful on a send op.
+    Drop {
+        /// Number of consecutive losses.
+        times: u32,
+    },
+    /// The outgoing message is delayed. Only meaningful on a send op.
+    Delay {
+        /// Extra virtual seconds added to the message's arrival time.
+        vt: f64,
+        /// Real (wall-clock) sleep before the message is handed over, to
+        /// exercise watchdog interaction. Keep small in tests.
+        wall: Duration,
+    },
+    /// One bit of one payload element is flipped in transit. Only meaningful
+    /// on a send op carrying scalar data (other payloads pass unharmed).
+    Corrupt {
+        /// Element index, reduced modulo the payload length.
+        element: usize,
+        /// Bit index within the element's IEEE-754 representation, reduced
+        /// modulo the scalar width.
+        bit: u32,
+    },
+}
+
+/// One fault: `kind` fires on `rank` when its op counter reaches `op_index`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// World rank the fault is injected into.
+    pub rank: usize,
+    /// Zero-based index into that rank's sequence of sends and recvs.
+    pub op_index: u64,
+    /// What happens there.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults, attached to a run via
+/// [`crate::Simulator::with_faults`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the fault machinery is armed but nothing fires.
+    /// Guaranteed bit-identical to a plain run.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Alias for [`FaultPlan::none`], reading better as a builder seed.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kill `rank` at its `op_index`-th point-to-point operation.
+    pub fn crash(mut self, rank: usize, op_index: u64) -> Self {
+        self.faults.push(Fault { rank, op_index, kind: FaultKind::Crash });
+        self
+    }
+
+    /// Lose the message `rank` sends at `op_index`, `times` times in a row.
+    pub fn drop_msg(mut self, rank: usize, op_index: u64, times: u32) -> Self {
+        self.faults.push(Fault { rank, op_index, kind: FaultKind::Drop { times } });
+        self
+    }
+
+    /// Delay the message `rank` sends at `op_index` by `vt` virtual seconds
+    /// and `wall` of real time.
+    pub fn delay(mut self, rank: usize, op_index: u64, vt: f64, wall: Duration) -> Self {
+        self.faults.push(Fault { rank, op_index, kind: FaultKind::Delay { vt, wall } });
+        self
+    }
+
+    /// Flip `bit` of `element` in the message `rank` sends at `op_index`.
+    pub fn corrupt(mut self, rank: usize, op_index: u64, element: usize, bit: u32) -> Self {
+        self.faults.push(Fault { rank, op_index, kind: FaultKind::Corrupt { element, bit } });
+        self
+    }
+
+    /// True if no fault will ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The slice of the plan relevant to one rank, indexed by op. If two
+    /// faults name the same `(rank, op)`, the later entry wins.
+    pub fn for_rank(&self, rank: usize) -> HashMap<u64, FaultKind> {
+        self.faults
+            .iter()
+            .filter(|f| f.rank == rank)
+            .map(|f| (f.op_index, f.kind.clone()))
+            .collect()
+    }
+
+    /// Sum of all wall-clock delays in the plan; the runtime extends the
+    /// deadlock watchdog by this much so injected delays never masquerade as
+    /// deadlocks.
+    pub fn total_wall_delay(&self) -> Duration {
+        self.faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::Delay { wall, .. } => Some(wall),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Parse a plan from the CLI `--inject` mini-language: `;`-separated
+    /// faults, each `kind:key=value,...`.
+    ///
+    /// ```text
+    /// crash:rank=2,op=40
+    /// drop:rank=0,op=5,times=2
+    /// delay:rank=1,op=10,vt=0.5,wall=20      (wall in milliseconds, optional)
+    /// corrupt:rank=3,op=7,elem=0,bit=62
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault `{part}`: expected `kind:key=value,...`"))?;
+            let mut kv: HashMap<&str, &str> = HashMap::new();
+            for pair in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("fault `{part}`: bad key=value pair `{pair}`"))?;
+                kv.insert(k.trim(), v.trim());
+            }
+            let field = |name: &str| -> Result<&str, String> {
+                kv.get(name).copied().ok_or_else(|| format!("fault `{part}`: missing `{name}=`"))
+            };
+            let num = |name: &str| -> Result<u64, String> {
+                field(name)?.parse().map_err(|_| format!("fault `{part}`: `{name}` not a number"))
+            };
+            let rank = num("rank")? as usize;
+            let op = num("op")?;
+            plan = match kind {
+                "crash" => plan.crash(rank, op),
+                "drop" => plan.drop_msg(rank, op, num("times").unwrap_or(1) as u32),
+                "delay" => {
+                    let vt: f64 = field("vt")
+                        .unwrap_or("0")
+                        .parse()
+                        .map_err(|_| format!("fault `{part}`: `vt` not a number"))?;
+                    let wall = Duration::from_millis(num("wall").unwrap_or(0));
+                    plan.delay(rank, op, vt, wall)
+                }
+                "corrupt" => {
+                    plan.corrupt(rank, op, num("elem").unwrap_or(0) as usize, num("bit")? as u32)
+                }
+                other => return Err(format!("unknown fault kind `{other}` in `{part}`")),
+            };
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_and_for_rank_filters() {
+        let plan = FaultPlan::new()
+            .crash(2, 40)
+            .drop_msg(0, 5, 2)
+            .delay(1, 10, 0.5, Duration::from_millis(20))
+            .corrupt(2, 7, 1, 62);
+        assert_eq!(plan.faults().len(), 4);
+        let r2 = plan.for_rank(2);
+        assert_eq!(r2.len(), 2);
+        assert_eq!(r2[&40], FaultKind::Crash);
+        assert_eq!(r2[&7], FaultKind::Corrupt { element: 1, bit: 62 });
+        assert!(plan.for_rank(3).is_empty());
+        assert_eq!(plan.total_wall_delay(), Duration::from_millis(20));
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "crash:rank=2,op=40; drop:rank=0,op=5,times=2;\
+             delay:rank=1,op=10,vt=0.5,wall=20;corrupt:rank=3,op=7,elem=1,bit=62",
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::new()
+                .crash(2, 40)
+                .drop_msg(0, 5, 2)
+                .delay(1, 10, 0.5, Duration::from_millis(20))
+                .corrupt(3, 7, 1, 62)
+        );
+    }
+
+    #[test]
+    fn parse_defaults_and_rejects_garbage() {
+        let plan = FaultPlan::parse("drop:rank=0,op=3").unwrap();
+        assert_eq!(plan.for_rank(0)[&3], FaultKind::Drop { times: 1 });
+        assert!(FaultPlan::parse("flood:rank=0,op=1").is_err());
+        assert!(FaultPlan::parse("crash:op=1").is_err());
+        assert!(FaultPlan::parse("crash:rank=x,op=1").is_err());
+        assert!(FaultPlan::parse("crash").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn last_fault_wins_on_duplicate_key() {
+        let plan = FaultPlan::new().drop_msg(0, 5, 1).crash(0, 5);
+        assert_eq!(plan.for_rank(0)[&5], FaultKind::Crash);
+    }
+}

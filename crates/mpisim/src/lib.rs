@@ -27,12 +27,18 @@
 //!   Chrome-trace/Perfetto and plain-text exporters), collective-sequence
 //!   validation, and a deadlock watchdog; see DESIGN.md §Observability.
 //! * [`error::MpiSimError`] — typed runtime failures (type mismatch,
-//!   collective mismatch, deadlock, peer disconnect) returned by
-//!   [`runtime::Simulator::try_run`] / [`runtime::Simulator::run_result`].
+//!   collective mismatch, deadlock, peer disconnect, injected crash/retry
+//!   exhaustion) returned by [`runtime::Simulator::try_run`] /
+//!   [`runtime::Simulator::run_result`].
+//! * [`fault::FaultPlan`] — deterministic fault injection (rank crashes,
+//!   message drops with bounded retry, delays, payload bit-flips) keyed by
+//!   rank × op index, attached via [`runtime::Simulator::with_faults`]; see
+//!   DESIGN.md §Fault model.
 
 pub mod comm;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod runtime;
 pub mod stats;
 pub mod trace;
@@ -41,6 +47,7 @@ pub mod wire;
 pub use comm::Comm;
 pub use cost::CostModel;
 pub use error::{MpiSimError, SimFailure};
+pub use fault::{Fault, FaultKind, FaultPlan, MAX_SEND_RETRIES};
 pub use runtime::{Ctx, SimOutput, Simulator};
 pub use stats::{Breakdown, PhaseCritical, PhaseStat, RankStats};
 pub use trace::{chrome_trace_json, text_timeline, EventKind, RankTrace, TraceConfig, TraceEvent};

@@ -10,9 +10,18 @@
 //! drop, so every peer blocked in a receive wakes up with a
 //! [`MpiSimError::PeerDisconnected`] instead of hanging — the run always
 //! terminates, and the runner reports the root cause, not the cascade.
+//!
+//! Fault injection: a deterministic [`FaultPlan`] attached with
+//! [`Simulator::with_faults`] fires crashes, message drops, delays and
+//! bit-flips keyed purely by each rank's op counter — no wall clock, no RNG.
+//! A crashed rank records itself in a shared registry *before* dying, so
+//! survivors that observe the disconnect report a typed
+//! [`MpiSimError::PeerFailed`] naming the dead rank, the op it died at and
+//! the phase it died in (ULFM-style failure notification).
 
 use crate::cost::CostModel;
 use crate::error::{MpiSimError, SimFailure};
+use crate::fault::{FaultKind, FaultPlan, MAX_SEND_RETRIES};
 use crate::stats::{PhaseStat, RankStats};
 use crate::trace::{EventKind, RankTrace, TraceBuffer, TraceConfig};
 use crate::wire::Wire;
@@ -22,7 +31,7 @@ use std::convert::Infallible;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, Once};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Internal message envelope.
 struct Message {
@@ -66,7 +75,34 @@ impl SharedTrace {
     }
 
     fn snapshot(&self) -> Vec<RankTrace> {
-        self.buffers.iter().enumerate().map(|(r, b)| b.lock().unwrap().snapshot(r)).collect()
+        // A rank can die (panic) at any point; never let a poisoned buffer
+        // lock take the post-mortem trace dump down with it.
+        self.buffers
+            .iter()
+            .enumerate()
+            .map(|(r, b)| b.lock().unwrap_or_else(|p| p.into_inner()).snapshot(r))
+            .collect()
+    }
+}
+
+/// What a crashed rank leaves behind for its peers to find.
+#[derive(Debug, Clone)]
+struct CrashRecord {
+    op_index: u64,
+    phase: String,
+}
+
+/// Crash registry shared by all rank threads when a [`FaultPlan`] is armed.
+/// A rank writes its record *before* raising the crash, and its channel
+/// senders only drop after the panic is caught at the rank boundary — so any
+/// peer that observes the disconnect is guaranteed to find the record.
+struct FaultShared {
+    crashed: Mutex<Vec<Option<CrashRecord>>>,
+}
+
+impl FaultShared {
+    fn new(p: usize) -> Self {
+        FaultShared { crashed: Mutex::new(vec![None; p]) }
     }
 }
 
@@ -92,6 +128,8 @@ pub struct Simulator {
     p: usize,
     cost: CostModel,
     trace: Option<TraceConfig>,
+    watchdog: Option<Duration>,
+    faults: Option<FaultPlan>,
 }
 
 /// Results of one simulated run.
@@ -125,7 +163,7 @@ impl Simulator {
     /// Simulator with `p` ranks and the default (Andes) cost model.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "need at least one rank");
-        Simulator { p, cost: CostModel::default(), trace: None }
+        Simulator { p, cost: CostModel::default(), trace: None, watchdog: None, faults: None }
     }
 
     /// Override the cost model.
@@ -139,6 +177,24 @@ impl Simulator {
     /// `Option` check per event site.
     pub fn with_trace(mut self, cfg: TraceConfig) -> Self {
         self.trace = Some(cfg);
+        self
+    }
+
+    /// Arm the deadlock watchdog independently of tracing: any rank blocked
+    /// in a receive for longer than `interval` aborts the run with a typed
+    /// [`MpiSimError::Deadlock`]. Takes precedence over a watchdog configured
+    /// through [`TraceConfig`], and is automatically extended by the total
+    /// wall delay of an attached [`FaultPlan`] so injected latency is never
+    /// misreported as a deadlock.
+    pub fn with_watchdog(mut self, interval: Duration) -> Self {
+        self.watchdog = Some(interval);
+        self
+    }
+
+    /// Attach a deterministic fault schedule. `FaultPlan::none()` arms the
+    /// machinery without firing anything and is bit-identical to a plain run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -214,11 +270,19 @@ impl Simulator {
         // Per-rank inboxes: receivers_from[rank][src].
         let mut inboxes: Vec<Vec<Receiver<Message>>> = Vec::with_capacity(p);
         for dst_rx in receivers.iter_mut() {
-            inboxes.push(dst_rx.iter_mut().map(|r| r.take().unwrap()).collect());
+            inboxes.push(dst_rx.iter_mut().map(|r| r.take().expect("receiver taken twice")).collect());
         }
 
         let cost = self.cost;
         let shared = self.trace.clone().map(|cfg| Arc::new(SharedTrace::new(p, cfg)));
+        let fault_shared = self.faults.as_ref().map(|_| Arc::new(FaultShared::new(p)));
+        // Effective watchdog: the standalone builder wins over the trace
+        // config; injected wall delays extend it so they are not misreported
+        // as deadlocks.
+        let watchdog = self
+            .watchdog
+            .or(self.trace.as_ref().and_then(|t| t.watchdog))
+            .map(|d| d + self.faults.as_ref().map(FaultPlan::total_wall_delay).unwrap_or_default());
         let fref = &f;
         let mut outputs: Vec<Option<(Exit<R, E>, RankStats)>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -228,8 +292,12 @@ impl Simulator {
             // disconnect instead of deadlocking.
             for (rank, (inbox, outs)) in inboxes.into_iter().zip(senders).enumerate() {
                 let shared = shared.clone();
+                let fault_shared = fault_shared.clone();
+                let my_faults =
+                    self.faults.as_ref().map(|plan| plan.for_rank(rank)).unwrap_or_default();
                 handles.push(scope.spawn(move || {
-                    let mut ctx = Ctx::new(rank, p, outs, inbox, cost, shared);
+                    let mut ctx =
+                        Ctx::new(rank, p, outs, inbox, cost, shared, watchdog, my_faults, fault_shared);
                     let start = Instant::now();
                     let res = catch_unwind(AssertUnwindSafe(|| fref(&mut ctx)));
                     ctx.stats.total.wall = start.elapsed().as_secs_f64();
@@ -256,7 +324,7 @@ impl Simulator {
         let mut exits = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
         for o in outputs {
-            let (exit, s) = o.unwrap();
+            let (exit, s) = o.expect("every rank thread was joined");
             exits.push(exit);
             stats.push(s);
         }
@@ -274,13 +342,19 @@ impl Simulator {
         }
 
         // Root-cause ordering: a protocol violation explains everything
-        // downstream of it; a user error explains the disconnect cascade it
-        // caused; a deadlock explains the disconnects of the ranks it
-        // aborted. `PeerDisconnected` is only ever reported when nothing
-        // better is known.
+        // downstream of it; an injected crash explains the PeerFailed /
+        // disconnect cascade it caused; a user error likewise; exhausted
+        // retries are a primary fault outcome; a deadlock explains the
+        // disconnects of the ranks it aborted. `PeerFailed` still names the
+        // dead rank if its own `RankCrashed` exit was somehow lost, and
+        // `PeerDisconnected` is only ever reported when nothing better is
+        // known.
         let mut user: Option<(usize, E)> = None;
         let mut protocol: Option<MpiSimError> = None;
+        let mut crashed: Option<MpiSimError> = None;
+        let mut retries: Option<MpiSimError> = None;
         let mut deadlock: Option<MpiSimError> = None;
+        let mut peer_failed: Option<MpiSimError> = None;
         let mut disconnect: Option<MpiSimError> = None;
         let mut aborted: Vec<usize> = Vec::new();
         let mut results = Vec::with_capacity(p);
@@ -293,11 +367,23 @@ impl Simulator {
                     }
                 }
                 Exit::Sim(e) => match e {
-                    MpiSimError::TypeMismatch { .. } | MpiSimError::CollectiveMismatch { .. } => {
+                    MpiSimError::TypeMismatch { .. }
+                    | MpiSimError::CollectiveMismatch { .. }
+                    | MpiSimError::CollectiveLengthMismatch { .. } => {
                         protocol.get_or_insert(e);
+                    }
+                    MpiSimError::RankCrashed { .. } => {
+                        crashed.get_or_insert(e);
+                    }
+                    MpiSimError::RetriesExhausted { .. } => {
+                        retries.get_or_insert(e);
                     }
                     MpiSimError::Deadlock { .. } => {
                         deadlock.get_or_insert(e);
+                    }
+                    MpiSimError::PeerFailed { .. } => {
+                        aborted.push(rank);
+                        peer_failed.get_or_insert(e);
                     }
                     MpiSimError::PeerDisconnected { .. } => {
                         aborted.push(rank);
@@ -311,13 +397,22 @@ impl Simulator {
         if let Some(e) = protocol {
             return Err(SimFailure::Sim(e));
         }
+        if let Some(e) = crashed {
+            return Err(SimFailure::Sim(e));
+        }
         if let Some((rank, error)) = user {
             return Err(SimFailure::Rank { rank, error, aborted });
+        }
+        if let Some(e) = retries {
+            return Err(SimFailure::Sim(e));
         }
         if let Some(mut e) = deadlock {
             if let MpiSimError::Deadlock { report, .. } = &mut e {
                 *report = crate::trace::tail_report(&traces, 16);
             }
+            return Err(SimFailure::Sim(e));
+        }
+        if let Some(e) = peer_failed {
             return Err(SimFailure::Sim(e));
         }
         if let Some(e) = disconnect {
@@ -351,9 +446,20 @@ pub struct Ctx {
     comm_counter: u64,
     /// Trace/validation state, shared with the runner; `None` when off.
     trace: Option<Arc<SharedTrace>>,
+    /// Effective deadlock watchdog interval (already extended by any
+    /// injected wall delays); `None` disables it.
+    watchdog: Option<Duration>,
+    /// Monotone count of this rank's point-to-point ops (sends + recvs);
+    /// the key space of the fault plan.
+    op_counter: u64,
+    /// Faults scheduled for this rank, keyed by op index.
+    my_faults: HashMap<u64, FaultKind>,
+    /// Crash registry shared with peers; `Some` whenever a plan is armed.
+    fault_shared: Option<Arc<FaultShared>>,
 }
 
 impl Ctx {
+    #[allow(clippy::too_many_arguments)] // built in exactly one place
     fn new(
         rank: usize,
         size: usize,
@@ -361,6 +467,9 @@ impl Ctx {
         inbox: Vec<Receiver<Message>>,
         cost: CostModel,
         trace: Option<Arc<SharedTrace>>,
+        watchdog: Option<Duration>,
+        my_faults: HashMap<u64, FaultKind>,
+        fault_shared: Option<Arc<FaultShared>>,
     ) -> Self {
         Ctx {
             rank,
@@ -374,6 +483,10 @@ impl Ctx {
             phase_stack: Vec::new(),
             comm_counter: 0,
             trace,
+            watchdog,
+            op_counter: 0,
+            my_faults,
+            fault_shared,
         }
     }
 
@@ -394,6 +507,13 @@ impl Ctx {
         self.vt
     }
 
+    /// This rank's point-to-point op counter (sends + recvs so far) — the
+    /// coordinate space [`FaultPlan`] faults are keyed by. Useful for
+    /// calibrating where in a program a fault should land.
+    pub fn op_index(&self) -> u64 {
+        self.op_counter
+    }
+
     pub(crate) fn next_comm_id(&mut self) -> u64 {
         self.comm_counter += 1;
         self.comm_counter
@@ -405,6 +525,64 @@ impl Ctx {
         std::panic::panic_any(e)
     }
 
+    /// Crate-internal escape hatch for collectives ([`crate::Comm`]) to
+    /// raise typed protocol errors through the same channel as the runtime.
+    pub(crate) fn raise(&self, e: MpiSimError) -> ! {
+        self.fail(e)
+    }
+
+    /// Advance the op counter and return the index of the op now executing.
+    fn next_op_index(&mut self) -> u64 {
+        let op = self.op_counter;
+        self.op_counter += 1;
+        op
+    }
+
+    /// The fault (if any) scheduled for op `op` on this rank.
+    fn fault_at(&self, op: u64) -> Option<FaultKind> {
+        if self.my_faults.is_empty() {
+            return None;
+        }
+        self.my_faults.get(&op).cloned()
+    }
+
+    /// Die from an injected crash: publish the crash record first, then
+    /// raise. The record is globally visible before this thread's channel
+    /// senders can drop (they only drop after the panic is caught at the
+    /// rank boundary), so peers observing the disconnect always find it.
+    fn crash(&self, op: u64) -> ! {
+        let phase = self
+            .phase_stack
+            .last()
+            .map(|f| f.0.clone())
+            .unwrap_or_else(|| "<no phase>".to_string());
+        if let Some(fs) = &self.fault_shared {
+            let mut crashed = fs.crashed.lock().unwrap_or_else(|p| p.into_inner());
+            crashed[self.rank] = Some(CrashRecord { op_index: op, phase: phase.clone() });
+        }
+        self.record(|| EventKind::Fault { desc: format!("crash at op {op} in `{phase}`") });
+        self.fail(MpiSimError::RankCrashed { rank: self.rank, op_index: op, phase })
+    }
+
+    /// The typed error for a peer whose channel went away: upgraded to a
+    /// ULFM-style [`MpiSimError::PeerFailed`] when the crash registry knows
+    /// the peer was killed by an injected fault.
+    fn peer_down(&self, peer: usize, tag: u64) -> MpiSimError {
+        if let Some(fs) = &self.fault_shared {
+            let crashed = fs.crashed.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(rec) = &crashed[peer] {
+                return MpiSimError::PeerFailed {
+                    rank: self.rank,
+                    peer,
+                    tag,
+                    peer_op: rec.op_index,
+                    peer_phase: rec.phase.clone(),
+                };
+            }
+        }
+        MpiSimError::PeerDisconnected { rank: self.rank, peer, tag }
+    }
+
     /// Record a trace event if tracing is on. The closure keeps event
     /// construction (string formatting, allocation) entirely off the
     /// tracing-disabled path.
@@ -412,7 +590,12 @@ impl Ctx {
     fn record(&self, kind: impl FnOnce() -> EventKind) {
         if let Some(t) = &self.trace {
             let wall = t.epoch.elapsed().as_secs_f64();
-            t.buffers[self.rank].lock().unwrap().push(wall, self.vt, kind());
+            // Poison-tolerant: another rank dying mid-run must never take
+            // this rank's tracing down with it.
+            t.buffers[self.rank]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(wall, self.vt, kind());
         }
     }
 
@@ -430,7 +613,7 @@ impl Ctx {
         let desc = desc();
         if t.cfg.validate {
             let key = (comm, members.to_vec(), op_index);
-            let mut v = t.validator.lock().unwrap();
+            let mut v = t.validator.lock().unwrap_or_else(|p| p.into_inner());
             match v.get(&key) {
                 None => {
                     v.insert(key, (desc.clone(), self.rank));
@@ -456,27 +639,88 @@ impl Ctx {
 
     /// Send `msg` to `dst` with a tag. Non-blocking; charges `α + β·bytes`
     /// to this rank's clock and stamps the message with its arrival time.
+    ///
+    /// With a [`FaultPlan`] armed, an op scheduled here may crash this rank,
+    /// lose the message (bounded deterministic retransmission with
+    /// exponential backoff in virtual time; exceeding [`MAX_SEND_RETRIES`]
+    /// losses raises [`MpiSimError::RetriesExhausted`]), delay its arrival,
+    /// or flip one bit of its payload in transit.
     pub fn send<M: Wire>(&mut self, dst: usize, tag: u64, msg: M) {
         assert!(dst < self.size, "send: bad destination");
+        let op = self.next_op_index();
+        let mut msg = msg;
         let bytes = msg.wire_bytes();
+        let mut extra_arrival_vt = 0.0;
+        match self.fault_at(op) {
+            None => {}
+            Some(FaultKind::Crash) => self.crash(op),
+            Some(FaultKind::Drop { times }) => {
+                // Deterministic loss model: the message is lost `times`
+                // times; each loss costs one retransmission plus exponential
+                // backoff, all in virtual time. Payload and delivery order
+                // are untouched, so a tolerated drop is bit-identical to a
+                // fault-free run in everything but the clock.
+                let attempts = times.min(MAX_SEND_RETRIES);
+                for k in 0..attempts {
+                    self.vt += self.cost.message(bytes) + self.cost.alpha * (1u64 << k) as f64;
+                    self.stats.total.bytes_sent += bytes as u64;
+                    self.stats.total.msgs += 1;
+                }
+                self.record(|| EventKind::Fault {
+                    desc: format!("drop x{times} -> rank {dst} tag {tag} (op {op})"),
+                });
+                if times >= MAX_SEND_RETRIES {
+                    self.fail(MpiSimError::RetriesExhausted {
+                        rank: self.rank,
+                        peer: dst,
+                        tag,
+                        attempts: MAX_SEND_RETRIES,
+                        op_index: op,
+                    });
+                }
+            }
+            Some(FaultKind::Delay { vt, wall }) => {
+                extra_arrival_vt = vt;
+                self.record(|| EventKind::Fault {
+                    desc: format!(
+                        "delay +{vt}s vt, {}ms wall -> rank {dst} tag {tag} (op {op})",
+                        wall.as_millis()
+                    ),
+                });
+                if !wall.is_zero() {
+                    std::thread::sleep(wall);
+                }
+            }
+            Some(FaultKind::Corrupt { element, bit }) => {
+                let applied = msg.corrupt(element, bit);
+                self.record(|| EventKind::Fault {
+                    desc: format!(
+                        "corrupt elem {element} bit {bit} -> rank {dst} tag {tag} \
+                         (op {op}, applied: {applied})"
+                    ),
+                });
+            }
+        }
         self.vt += self.cost.message(bytes);
         self.stats.total.bytes_sent += bytes as u64;
         self.stats.total.msgs += 1;
         self.record(|| EventKind::Send { dst, tag, bytes });
         // A closed channel means the peer already failed; report the
-        // disconnect from this side rather than panicking on the send.
+        // disconnect (or, if the crash registry knows better, the peer's
+        // crash) from this side rather than panicking on the send.
         if self.out[dst]
             .send(Message {
                 tag,
                 src: self.rank,
-                arrival_vt: self.vt,
+                arrival_vt: self.vt + extra_arrival_vt,
                 bytes,
                 type_name: std::any::type_name::<M>(),
                 payload: Box::new(msg),
             })
             .is_err()
         {
-            self.fail(MpiSimError::PeerDisconnected { rank: self.rank, peer: dst, tag });
+            let e = self.peer_down(dst, tag);
+            self.fail(e);
         }
     }
 
@@ -484,9 +728,15 @@ impl Ctx {
     /// Synchronizes the virtual clock with the message arrival time.
     pub fn recv<M: Wire>(&mut self, src: usize, tag: u64) -> M {
         assert!(src < self.size, "recv: bad source");
+        let op = self.next_op_index();
+        // Only a crash makes sense on the receive side; drop/delay/corrupt
+        // scheduled on a recv op are inert by design.
+        if let Some(FaultKind::Crash) = self.fault_at(op) {
+            self.crash(op);
+        }
         // Check stashed out-of-order messages first.
         if let Some(pos) = self.stash[src].iter().position(|m| m.tag == tag) {
-            let m = self.stash[src].remove(pos).unwrap();
+            let m = self.stash[src].remove(pos).expect("stash position just found");
             return self.open::<M>(m);
         }
         loop {
@@ -501,18 +751,19 @@ impl Ctx {
     /// Block for the next message from `src`, honouring the deadlock
     /// watchdog if one is configured.
     fn wait_from(&mut self, src: usize, tag: u64) -> Message {
-        let watchdog = self.trace.as_ref().and_then(|t| t.cfg.watchdog);
-        match watchdog {
+        match self.watchdog {
             None => match self.inbox[src].recv() {
                 Ok(m) => m,
                 Err(_) => {
-                    self.fail(MpiSimError::PeerDisconnected { rank: self.rank, peer: src, tag })
+                    let e = self.peer_down(src, tag);
+                    self.fail(e)
                 }
             },
             Some(interval) => match self.inbox[src].recv_timeout(interval) {
                 Ok(m) => m,
                 Err(RecvTimeoutError::Disconnected) => {
-                    self.fail(MpiSimError::PeerDisconnected { rank: self.rank, peer: src, tag })
+                    let e = self.peer_down(src, tag);
+                    self.fail(e)
                 }
                 Err(RecvTimeoutError::Timeout) => self.fail(MpiSimError::Deadlock {
                     rank: self.rank,
@@ -854,6 +1105,203 @@ mod tests {
             }
         });
         assert!(out.traces.is_empty());
+    }
+
+    #[test]
+    fn crash_fault_kills_the_rank_and_names_op_and_phase() {
+        // Rank 1's op 0 is its recv; the crash must fire there, and the
+        // waiting rank 0 must be unblocked (not hang), with the run's root
+        // cause being the injected crash.
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_faults(FaultPlan::new().crash(1, 0))
+            .try_run(|ctx| {
+                ctx.phase("Gram", |c| {
+                    if c.rank() == 0 {
+                        c.send(1, 0, vec![1.0f64]);
+                        let _ = c.recv::<Vec<f64>>(1, 1);
+                    } else {
+                        let _ = c.recv::<Vec<f64>>(0, 0);
+                        c.send(0, 1, vec![2.0f64]);
+                    }
+                });
+            })
+            .unwrap_err();
+        match err {
+            MpiSimError::RankCrashed { rank, op_index, phase } => {
+                assert_eq!((rank, op_index), (1, 0));
+                assert_eq!(phase, "Gram");
+            }
+            other => panic!("expected RankCrashed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn drop_fault_retransmits_with_backoff_and_still_delivers() {
+        let cost = CostModel { alpha: 1.0, beta_per_byte: 0.0, gamma_double: 0.0, gamma_single: 0.0, syrk_derate: 1.0 };
+        let out = Simulator::new(2)
+            .with_cost(cost)
+            .with_faults(FaultPlan::new().drop_msg(0, 0, 2))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![42.0f64]);
+                    (0.0, ctx.virtual_time())
+                } else {
+                    let v = ctx.recv::<Vec<f64>>(0, 0);
+                    (v[0], ctx.virtual_time())
+                }
+            });
+        // Payload intact despite the losses.
+        assert_eq!(out.results[1].0, 42.0);
+        // Two lost copies: (1 + 1·2^0) + (1 + 1·2^1) = 5, plus the final
+        // successful send at cost 1 → vt 6 on the sender.
+        assert!((out.results[0].1 - 6.0).abs() < 1e-12, "{}", out.results[0].1);
+        // Retransmissions show up in the message stats.
+        assert_eq!(out.stats[0].total.msgs, 3);
+    }
+
+    #[test]
+    fn drop_fault_exhausts_bounded_retries() {
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_faults(FaultPlan::new().drop_msg(0, 0, 99))
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 5, vec![1.0f64]);
+                } else {
+                    let _ = ctx.recv::<Vec<f64>>(0, 5);
+                }
+            })
+            .unwrap_err();
+        match err {
+            MpiSimError::RetriesExhausted { rank, peer, tag, attempts, op_index } => {
+                assert_eq!((rank, peer, tag, op_index), (0, 1, 5, 0));
+                assert_eq!(attempts, crate::fault::MAX_SEND_RETRIES);
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn delay_fault_shifts_the_receiver_clock_only() {
+        let out = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_faults(FaultPlan::new().delay(0, 0, 5.0, Duration::ZERO))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![7.0f64]);
+                    (7.0, ctx.virtual_time())
+                } else {
+                    let v = ctx.recv::<Vec<f64>>(0, 0);
+                    (v[0], ctx.virtual_time())
+                }
+            });
+        assert_eq!(out.results[1].0, 7.0); // value unchanged
+        assert_eq!(out.results[0].1, 0.0); // sender clock unaffected
+        assert!(out.results[1].1 >= 5.0); // receiver synced past the delay
+    }
+
+    #[test]
+    fn wall_delay_extends_the_watchdog_instead_of_tripping_it() {
+        // Watchdog 100 ms, injected wall delay 200 ms: without the automatic
+        // extension the receiver would misreport a deadlock.
+        let out = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_watchdog(Duration::from_millis(100))
+            .with_faults(FaultPlan::new().delay(0, 0, 0.0, Duration::from_millis(200)))
+            .try_run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![1.0f64]);
+                    1.0
+                } else {
+                    ctx.recv::<Vec<f64>>(0, 0)[0]
+                }
+            })
+            .expect("delay must not be misreported as deadlock");
+        assert_eq!(out.results[1], 1.0);
+    }
+
+    #[test]
+    fn watchdog_works_without_tracing() {
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_watchdog(Duration::from_millis(100))
+            .try_run(|ctx| {
+                let peer = 1 - ctx.rank();
+                let _ = ctx.recv::<Vec<f64>>(peer, 0);
+            })
+            .unwrap_err();
+        match err {
+            MpiSimError::Deadlock { timeout_ms, report, .. } => {
+                assert_eq!(timeout_ms, 100);
+                assert!(report.is_empty(), "no tracing, no tails: {report}");
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_fault_flips_one_bit_in_transit() {
+        let out = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_faults(FaultPlan::new().corrupt(0, 0, 1, 62))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![1.5f64, 1.5, 1.5]);
+                    vec![]
+                } else {
+                    ctx.recv::<Vec<f64>>(0, 0)
+                }
+            });
+        let got = &out.results[1];
+        assert_eq!(got[0], 1.5);
+        assert!(!got[1].is_finite(), "exponent flip must denormalize: {got:?}");
+        assert_eq!(got[2], 1.5);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        let program = |ctx: &mut Ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0.1f64, 0.2, 0.3]);
+                ctx.recv::<Vec<f64>>(1, 1)
+            } else {
+                let v = ctx.recv::<Vec<f64>>(0, 0);
+                let w: Vec<f64> = v.iter().map(|x| x * 3.7).collect();
+                ctx.send(0, 1, w.clone());
+                w
+            }
+        };
+        let plain = Simulator::new(2).with_cost(CostModel::andes()).run(program);
+        let armed = Simulator::new(2)
+            .with_cost(CostModel::andes())
+            .with_faults(FaultPlan::none())
+            .run(program);
+        for (a, b) in plain.results.iter().zip(&armed.results) {
+            let ab: Vec<u64> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+        assert_eq!(plain.stats[0].modeled_time, armed.stats[0].modeled_time);
+    }
+
+    #[test]
+    fn faults_are_recorded_in_the_trace() {
+        let out = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_trace(TraceConfig::default())
+            .with_faults(FaultPlan::new().delay(0, 0, 1.0, Duration::ZERO))
+            .run(|ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, vec![1.0f64]);
+                } else {
+                    let _ = ctx.recv::<Vec<f64>>(0, 0);
+                }
+            });
+        assert!(
+            out.traces[0].events.iter().any(|e| matches!(&e.kind, EventKind::Fault { desc } if desc.contains("delay"))),
+            "fault event missing from trace"
+        );
     }
 
     #[test]

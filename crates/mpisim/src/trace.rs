@@ -101,6 +101,12 @@ pub enum EventKind {
         /// Phase label.
         name: String,
     },
+    /// An injected fault fired ([`crate::FaultPlan`]): crash, drop, delay,
+    /// or corruption.
+    Fault {
+        /// Human-readable description of what fired.
+        desc: String,
+    },
 }
 
 /// One recorded event with its clocks.
@@ -181,6 +187,7 @@ fn fmt_kind(kind: &EventKind) -> String {
         }
         EventKind::PhaseBegin { name } => format!("begin {name}"),
         EventKind::PhaseEnd { name } => format!("end   {name}"),
+        EventKind::Fault { desc } => format!("fault {desc}"),
     }
 }
 
@@ -311,6 +318,14 @@ pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
                         ts,
                         comm,
                         op_index
+                    ));
+                }
+                EventKind::Fault { desc } => {
+                    events.push(format!(
+                        r#"{{"name":"fault: {}","ph":"i","s":"t","pid":0,"tid":{},"ts":{:.3}}}"#,
+                        json_escape(desc),
+                        t.rank,
+                        ts
                     ));
                 }
             }

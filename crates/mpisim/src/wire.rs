@@ -8,17 +8,45 @@ use tucker_linalg::{Matrix, Scalar};
 pub trait Wire: Send + 'static {
     /// Number of bytes this payload occupies on the (modeled) wire.
     fn wire_bytes(&self) -> usize;
+
+    /// Flip `bit` of scalar element `element` (reduced modulo the payload
+    /// length) in place, modelling in-transit corruption injected by a
+    /// [`crate::FaultPlan`]. Returns `true` if a bit was actually flipped;
+    /// payloads without scalar data pass through unharmed and return
+    /// `false`.
+    fn corrupt(&mut self, _element: usize, _bit: u32) -> bool {
+        false
+    }
 }
 
 impl<T: Scalar> Wire for Vec<T> {
     fn wire_bytes(&self) -> usize {
         self.len() * T::BYTES
     }
+
+    fn corrupt(&mut self, element: usize, bit: u32) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let i = element % self.len();
+        self[i] = self[i].flip_bit(bit);
+        true
+    }
 }
 
 impl<T: Scalar> Wire for Matrix<T> {
     fn wire_bytes(&self) -> usize {
         self.data().len() * T::BYTES
+    }
+
+    fn corrupt(&mut self, element: usize, bit: u32) -> bool {
+        let data = self.data_mut();
+        if data.is_empty() {
+            return false;
+        }
+        let i = element % data.len();
+        data[i] = data[i].flip_bit(bit);
+        true
     }
 }
 
@@ -38,6 +66,10 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     fn wire_bytes(&self) -> usize {
         self.0.wire_bytes() + self.1.wire_bytes()
     }
+
+    fn corrupt(&mut self, element: usize, bit: u32) -> bool {
+        self.0.corrupt(element, bit) || self.1.corrupt(element, bit)
+    }
 }
 
 #[cfg(test)]
@@ -51,5 +83,36 @@ mod tests {
         assert_eq!(Matrix::<f64>::zeros(3, 4).wire_bytes(), 96);
         assert_eq!(().wire_bytes(), 0);
         assert_eq!((vec![0.0f32; 2], vec![0.0f64; 1]).wire_bytes(), 16);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        // Values in [1, 2) have biased exponent 0x3FF, so flipping bit 62
+        // saturates the exponent and the result is non-finite.
+        let mut v = vec![1.5f64, 1.25, 1.75];
+        assert!(v.corrupt(1, 62));
+        assert!(!v[1].is_finite());
+        assert_eq!((v[0], v[2]), (1.5, 1.75));
+        // Element index wraps modulo the length.
+        let mut v = vec![1.5f64];
+        assert!(v.corrupt(7, 0));
+        assert!(v[0] != 1.5 && v[0].is_finite());
+    }
+
+    #[test]
+    fn corrupt_skips_opaque_and_empty_payloads() {
+        assert!(!().corrupt(0, 0));
+        assert!(!0usize.corrupt(0, 0));
+        assert!(!Vec::<f64>::new().corrupt(0, 0));
+        let mut m = Matrix::<f64>::zeros(2, 2);
+        assert!(m.corrupt(0, 0));
+        assert!(m.data()[0] != 0.0);
+    }
+
+    #[test]
+    fn corrupt_tuple_prefers_first_corruptible_half() {
+        let mut pair = (Vec::<f64>::new(), vec![1.5f64]);
+        assert!(pair.corrupt(0, 62));
+        assert!(!pair.1[0].is_finite());
     }
 }

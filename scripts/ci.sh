@@ -8,3 +8,22 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace --locked
 cargo test -q --workspace --locked
 cargo clippy --all-targets --workspace --locked -- -D warnings
+
+# Chaos smoke: an injected crash must fail with a typed, rank-attributed
+# error, and --resume from the committed checkpoints must then succeed.
+ckpt="$(mktemp -d)"
+trap 'rm -rf "$ckpt"' EXIT
+tucker="target/release/tucker"
+if out="$("$tucker" simulate --grid 2x2x2 --kind random --dims 16x16x16 \
+        --ranks 4x4x4 --checkpoint-dir "$ckpt" \
+        --inject crash:rank=3,op=40 --watchdog-ms 30000 2>&1)"; then
+    echo "chaos smoke: injected crash did not fail the run" >&2
+    exit 1
+fi
+if ! grep -q "rank 3 crashed" <<<"$out"; then
+    echo "chaos smoke: crash not attributed to rank 3: $out" >&2
+    exit 1
+fi
+"$tucker" simulate --grid 2x2x2 --kind random --dims 16x16x16 \
+    --ranks 4x4x4 --checkpoint-dir "$ckpt" --resume
+echo "chaos smoke: crash -> resume cycle OK"

@@ -3,13 +3,14 @@
 //! sequential references exactly (up to roundoff).
 
 use proptest::prelude::*;
+use std::time::Duration;
 use tucker_rs::dtensor::{
     parallel_gram, parallel_tensor_lq, parallel_ttm, DistTensor, ProcessorGrid, ReductionTree,
 };
 use tucker_rs::linalg::tslq::TslqOptions;
 use tucker_rs::linalg::{gemm_into, syrk_lower, Matrix, Trans};
 use tucker_rs::core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
-use tucker_rs::mpisim::{Comm, CostModel, Simulator, TraceConfig};
+use tucker_rs::mpisim::{Comm, CostModel, FaultPlan, MpiSimError, SimFailure, Simulator, TraceConfig};
 use tucker_rs::tensor::{ttm, Tensor, Unfolding};
 
 /// Strategy: (dims, grid) with 3 modes, small sizes, grid dividing nothing in
@@ -60,7 +61,7 @@ proptest! {
         let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
             let mut world = Comm::world(ctx);
-            parallel_gram(ctx, &mut world, &dt, n)
+            parallel_gram(ctx, &mut world, &dt, n).unwrap()
         });
         for got in out.results {
             prop_assert!(got.max_abs_diff(&want) < 1e-10 * want.max_abs().max(1.0));
@@ -77,6 +78,7 @@ proptest! {
             let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
             let mut world = Comm::world(ctx);
             parallel_tensor_lq(ctx, &mut world, &dt, n, ReductionTree::Butterfly, TslqOptions::default())
+                .unwrap()
         });
         let l0 = &out.results[0];
         for l in &out.results {
@@ -97,7 +99,7 @@ proptest! {
         let want = ttm(&x, n, u.as_ref(), true);
         let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
             let dt = DistTensor::scatter_from(&x, &g, ctx.rank());
-            let y = parallel_ttm(ctx, &dt, n, &u);
+            let y = parallel_ttm(ctx, &dt, n, &u).unwrap();
             let mut world = Comm::world(ctx);
             y.gather(ctx, &mut world)
         });
@@ -163,4 +165,125 @@ proptest! {
         let traced = run(Some(TraceConfig::validating()));
         prop_assert_eq!(plain, traced, "tracing changed numerical results");
     }
+}
+
+/// Bits of a full parallel ST-HOSVD on every rank: core block, factors, and
+/// the error estimate — the "did anything change at all" fingerprint.
+fn sthosvd_bits(
+    ctx: &mut tucker_rs::mpisim::Ctx,
+    x: &Tensor<f64>,
+    grid: &[usize],
+    cfg: &SthosvdConfig,
+) -> Result<Vec<u64>, tucker_rs::linalg::LinalgError> {
+    let dt = DistTensor::scatter_from(x, &ProcessorGrid::new(grid), ctx.rank());
+    let po = sthosvd_parallel(ctx, &dt, cfg)?;
+    let mut bits: Vec<u64> = po.core.local().data().iter().map(|v| v.to_bits()).collect();
+    for f in &po.factors {
+        bits.extend(f.data().iter().map(|v| v.to_bits()));
+    }
+    bits.push(po.estimated_error.to_bits());
+    Ok(bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chaos test of the fault-injection layer: under random deterministic
+    /// plans of crashes, message drops and delays, a full parallel ST-HOSVD
+    /// must either complete with output bit-identical to the fault-free run
+    /// (faults tolerated) or fail with a typed simulator error naming the
+    /// fault — never hang (the 5s watchdog would convert a hang into a
+    /// Deadlock error, which fails the test) and never silently corrupt.
+    #[test]
+    fn chaos_faults_never_hang_or_silently_corrupt(
+        (dims, grid, _) in shapes(),
+        seed in 0u64..1000,
+        raw_faults in proptest::collection::vec(
+            (0usize..3, 0usize..16, 0u64..300, 1u32..4, 0u64..5),
+            0..5,
+        ),
+    ) {
+        let x = test_tensor(&dims, seed);
+        let p: usize = grid.iter().product();
+        let ranks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(2)).collect();
+        let cfg = SthosvdConfig::with_ranks(ranks);
+
+        let mut plan = FaultPlan::new();
+        let mut has_crash = false;
+        for &(kind, rank, op, times, tenths) in &raw_faults {
+            let rank = rank % p;
+            plan = match kind {
+                0 => {
+                    has_crash = true;
+                    plan.crash(rank, op)
+                }
+                1 => plan.drop_msg(rank, op, times),
+                _ => plan.delay(rank, op, tenths as f64 * 0.1, Duration::ZERO),
+            };
+        }
+
+        let reference = Simulator::new(p)
+            .with_cost(CostModel::andes())
+            .run(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg).unwrap());
+
+        let chaotic = Simulator::new(p)
+            .with_cost(CostModel::andes())
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(plan)
+            .run_result(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg));
+
+        match chaotic {
+            Ok(out) => {
+                // Tolerated (or never-reached) faults: results must be
+                // bit-identical on every rank.
+                for (got, want) in out.results.iter().zip(&reference.results) {
+                    prop_assert_eq!(got, want, "tolerated faults changed the results");
+                }
+            }
+            Err(SimFailure::Sim(e)) => {
+                // Failing is allowed only for the typed fault errors, and
+                // only when the plan actually contains a crash (drops here
+                // retry fewer than the retransmit budget; delays always
+                // deliver).
+                prop_assert!(has_crash, "typed failure without a crash in the plan: {e}");
+                prop_assert!(
+                    matches!(
+                        e,
+                        MpiSimError::RankCrashed { .. }
+                            | MpiSimError::PeerFailed { .. }
+                            | MpiSimError::PeerDisconnected { .. }
+                    ),
+                    "unexpected error class under crash faults: {e}"
+                );
+            }
+            Err(SimFailure::Rank { rank, error, .. }) => {
+                panic!("rank {rank} surfaced an algorithm error under comm faults: {error}");
+            }
+        }
+    }
+}
+
+/// `with_faults(FaultPlan::none())` must be free: the fault machinery adds
+/// zero modeled time and zero numerical perturbation when the plan is empty.
+#[test]
+fn empty_fault_plan_adds_no_overhead_to_sthosvd() {
+    let dims = [6usize, 5, 4];
+    let grid = [2usize, 2, 1];
+    let x = test_tensor(&dims, 7);
+    let cfg = SthosvdConfig::with_tolerance(1e-2).method(SvdMethod::Qr);
+    let run = |faults: Option<FaultPlan>| {
+        let mut sim = Simulator::new(4).with_cost(CostModel::andes());
+        if let Some(fp) = faults {
+            sim = sim.with_faults(fp);
+        }
+        let out = sim.run(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg).unwrap());
+        (out.results.clone(), out.breakdown().modeled_time)
+    };
+    let (plain_bits, plain_time) = run(None);
+    let (armed_bits, armed_time) = run(Some(FaultPlan::none()));
+    assert_eq!(plain_bits, armed_bits, "empty fault plan changed results");
+    assert!(
+        (plain_time - armed_time).abs() < 1e-12,
+        "empty fault plan changed modeled time: {plain_time} vs {armed_time}"
+    );
 }
