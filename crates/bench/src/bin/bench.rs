@@ -1,0 +1,228 @@
+//! `bench kernels` — the repo's perf baseline (DESIGN.md §10).
+//!
+//! Measures the hot kernels (GEMM against the pre-PR3 reference engine,
+//! SYRK, mixed-precision SYRK, TTM, blocked LQ) plus full serial ST-HOSVD
+//! wall time, and writes the records to `BENCH_pr3.json` (override with
+//! `--out`). Every record is `{bench, shape, precision, gflops|ms}`.
+//!
+//! `--quick` shrinks the shapes for the CI smoke run (`scripts/ci.sh`);
+//! full mode additionally enforces the PR3 acceptance gate: the
+//! register-tiled engine must beat the reference GEMM by ≥2x at the
+//! short-fat shape, measured in the same run. Either mode fails (non-zero
+//! exit) on a NaN, infinite, or zero throughput reading.
+
+use std::time::Instant;
+use tucker_core::{sthosvd_with_info, SthosvdConfig, SvdMethod};
+use tucker_linalg::{
+    gemm, gemm_reference, lq_factor_blocked, syrk_lower, syrk_lower_f64_acc, Matrix, Scalar,
+};
+use tucker_tensor::{ttm, Tensor};
+
+const USAGE: &str = "usage: bench kernels [--quick] [--out BENCH_pr3.json]";
+
+/// One output record: a named measurement at a shape and precision.
+struct Rec {
+    bench: String,
+    shape: String,
+    precision: &'static str,
+    /// `("gflops", v)` or `("ms", v)` — exactly one metric per record.
+    metric: (&'static str, f64),
+}
+
+impl Rec {
+    fn json(&self) -> String {
+        format!(
+            "{{\"bench\":\"{}\",\"shape\":\"{}\",\"precision\":\"{}\",\"{}\":{:.4}}}",
+            self.bench, self.shape, self.precision, self.metric.0, self.metric.1
+        )
+    }
+}
+
+/// Best-of-`iters` wall time of `f` in seconds, after one warm-up call.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn deterministic<T: Scalar>(seed: usize, i: usize, j: usize) -> T {
+    // Cheap well-spread values; benchmarks only need non-trivial data.
+    let h = (seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(i.wrapping_mul(0x85eb_ca6b))
+        .wrapping_add(j.wrapping_mul(0xc2b2_ae35)))
+        % 2003;
+    T::from_f64(h as f64 / 1001.5 - 1.0)
+}
+
+/// GEMM throughput at the paper's short-fat shape, for both the new tiled
+/// engine and the pre-change reference, same matrices, same run.
+fn bench_gemm<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) -> (f64, f64) {
+    let (m, k, n) = if quick { (128, 128, 8192) } else { (256, 256, 65536) };
+    let a = Matrix::<T>::from_fn(m, k, |i, j| deterministic(1, i, j));
+    let b = Matrix::<T>::from_fn(k, n, |i, j| deterministic(2, i, j));
+    let mut c = Matrix::<T>::zeros(m, n);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    let shape = format!("{m}x{n}x{k}");
+
+    let t_new = time_best(2, || {
+        gemm(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, &mut c.as_mut())
+    });
+    let t_ref = time_best(2, || {
+        gemm_reference(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, &mut c.as_mut())
+    });
+    let (g_new, g_ref) = (flops / t_new / 1e9, flops / t_ref / 1e9);
+    recs.push(Rec {
+        bench: "gemm".into(),
+        shape: shape.clone(),
+        precision: T::PRECISION_NAME,
+        metric: ("gflops", g_new),
+    });
+    recs.push(Rec {
+        bench: "gemm_reference".into(),
+        shape,
+        precision: T::PRECISION_NAME,
+        metric: ("gflops", g_ref),
+    });
+    (g_new, g_ref)
+}
+
+/// SYRK `G = A·Aᵀ` on a short-fat unfolding (the Gram path's kernel).
+fn bench_syrk<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+    let (m, k) = if quick { (128, 8192) } else { (256, 65536) };
+    let a = Matrix::<T>::from_fn(m, k, |i, j| deterministic(3, i, j));
+    let flops = m as f64 * (m + 1) as f64 * k as f64;
+    let t = time_best(2, || {
+        std::hint::black_box(syrk_lower(a.as_ref()));
+    });
+    recs.push(Rec {
+        bench: "syrk".into(),
+        shape: format!("{m}x{k}"),
+        precision: T::PRECISION_NAME,
+        metric: ("gflops", flops / t / 1e9),
+    });
+    if T::BYTES == 4 {
+        // Mixed path: single-precision input, double accumulation.
+        let t = time_best(2, || {
+            std::hint::black_box(syrk_lower_f64_acc(a.as_ref()));
+        });
+        recs.push(Rec {
+            bench: "syrk_f64_acc".into(),
+            shape: format!("{m}x{k}"),
+            precision: T::PRECISION_NAME,
+            metric: ("gflops", flops / t / 1e9),
+        });
+    }
+}
+
+/// Mode-1 TTM (the general row-major-block path with the shared pack).
+fn bench_ttm<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+    let (d, r) = if quick { (64, 16) } else { (128, 32) };
+    let x = Tensor::<T>::from_fn(&[d, d, d], |i| deterministic(4, i[0], i[1] * d + i[2]));
+    let u = Matrix::<T>::from_fn(d, r, |i, j| deterministic(5, i, j));
+    let flops = 2.0 * (d * d * d) as f64 * r as f64;
+    let t = time_best(3, || {
+        std::hint::black_box(ttm(&x, 1, u.as_ref(), true));
+    });
+    recs.push(Rec {
+        bench: "ttm".into(),
+        shape: format!("{d}x{d}x{d}*r{r}"),
+        precision: T::PRECISION_NAME,
+        metric: ("gflops", flops / t / 1e9),
+    });
+}
+
+/// Blocked LQ of a short-fat unfolding (the QR-SVD path's kernel).
+fn bench_lq<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+    let (m, n) = if quick { (128, 4096) } else { (256, 16384) };
+    let a = Matrix::<T>::from_fn(m, n, |i, j| deterministic(6, i, j));
+    let flops = 2.0 * (m * m) as f64 * n as f64;
+    let t = time_best(2, || {
+        std::hint::black_box(lq_factor_blocked(a.as_ref(), 64));
+    });
+    recs.push(Rec {
+        bench: "lq".into(),
+        shape: format!("{m}x{n}"),
+        precision: T::PRECISION_NAME,
+        metric: ("gflops", flops / t / 1e9),
+    });
+}
+
+/// Full serial ST-HOSVD wall time (end-to-end sanity on the compound path).
+fn bench_sthosvd<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+    let (d, r) = if quick { (24, 6) } else { (48, 12) };
+    let x = Tensor::<T>::from_fn(&[d, d, d], |i| deterministic(7, i[0], i[1] * d + i[2]));
+    let cfg = SthosvdConfig::with_ranks(vec![r; 3]).method(SvdMethod::Qr);
+    let t = time_best(2, || {
+        std::hint::black_box(sthosvd_with_info(&x, &cfg).expect("sthosvd"));
+    });
+    recs.push(Rec {
+        bench: "sthosvd".into(),
+        shape: format!("{d}x{d}x{d}->{r}x{r}x{r}"),
+        precision: T::PRECISION_NAME,
+        metric: ("ms", t * 1e3),
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("kernels") {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out_path = "BENCH_pr3.json".to_string();
+    for w in args.windows(2) {
+        if w[0] == "--out" {
+            out_path = w[1].clone();
+        }
+    }
+
+    let mut recs = Vec::new();
+    let (g64, r64) = bench_gemm::<f64>(quick, &mut recs);
+    let (g32, r32) = bench_gemm::<f32>(quick, &mut recs);
+    bench_syrk::<f64>(quick, &mut recs);
+    bench_syrk::<f32>(quick, &mut recs);
+    bench_ttm::<f64>(quick, &mut recs);
+    bench_ttm::<f32>(quick, &mut recs);
+    bench_lq::<f64>(quick, &mut recs);
+    bench_lq::<f32>(quick, &mut recs);
+    bench_sthosvd::<f64>(quick, &mut recs);
+    bench_sthosvd::<f32>(quick, &mut recs);
+
+    for r in &recs {
+        println!("{}", r.json());
+        let v = r.metric.1;
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("bench kernels: {} produced a degenerate reading {v}", r.bench);
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "gemm vs reference: double {:.2}x ({g64:.2} / {r64:.2} GF/s), single {:.2}x ({g32:.2} / {r32:.2} GF/s)",
+        g64 / r64,
+        g32 / r32
+    );
+    // PR3 acceptance gate, full mode only: quick mode runs in CI on unknown
+    // hosts (no AVX2 -> both engines share the fused portable path and the
+    // margin shrinks); the committed baseline is produced by a full run.
+    if !quick && g64 < 2.0 * r64 {
+        eprintln!(
+            "bench kernels: tiled GEMM {g64:.2} GF/s is below 2x the reference {r64:.2} GF/s"
+        );
+        std::process::exit(1);
+    }
+
+    let body: Vec<String> = recs.iter().map(|r| format!("  {}", r.json())).collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("bench kernels: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} records to {out_path}", recs.len());
+}

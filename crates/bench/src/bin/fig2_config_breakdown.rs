@@ -12,14 +12,14 @@
 //! * for each ordering, the fastest grid sets the first-processed mode's
 //!   grid dimension to 1 (no redistribution for the dominant LQ).
 
-use tucker_bench::{write_csv, BenchTracer, Table};
+use tucker_bench::{threads_from_env_args, write_csv, BenchTracer, Table};
 use tucker_core::model::{predict, ModelConfig};
 use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
-use tucker_mpisim::{CostModel, Simulator};
+use tucker_mpisim::{CostModel, Simulator, ThreadTopology};
 use tucker_tensor::Tensor;
 
-fn measured_sweep(tracer: &BenchTracer) {
+fn measured_sweep(tracer: &BenchTracer, topo: Option<ThreadTopology>) {
     let dims = [32usize, 32, 32, 32];
     let ranks = vec![3usize, 3, 3, 3];
     println!("--- measured (simulated 16 ranks): {dims:?} -> {ranks:?} ---\n");
@@ -36,7 +36,10 @@ fn measured_sweep(tracer: &BenchTracer) {
             let cfg = SthosvdConfig::with_ranks(ranks.clone())
                 .method(SvdMethod::Qr)
                 .order(order.clone());
-            let sim = tracer.apply(Simulator::new(16).with_cost(CostModel::andes()));
+            let mut sim = tracer.apply(Simulator::new(16).with_cost(CostModel::andes()));
+            if let Some(t) = topo {
+                sim = sim.with_threads(t);
+            }
             let out = sim.run(|ctx| {
                 let dt = DistTensor::scatter_from(&x, &ProcessorGrid::new(&grid), ctx.rank());
                 sthosvd_parallel(ctx, &dt, &cfg).unwrap();
@@ -122,6 +125,6 @@ fn modeled_sweep() {
 }
 
 fn main() {
-    measured_sweep(&BenchTracer::from_env_args());
+    measured_sweep(&BenchTracer::from_env_args(), threads_from_env_args());
     modeled_sweep();
 }

@@ -14,14 +14,19 @@
 //! QR single consistently ~30% faster than Gram double (up to 2x).
 
 use tucker_bench::grids::{strong_scaling_grids, table1_grid};
-use tucker_bench::{write_csv, BenchTracer, Table};
+use tucker_bench::{threads_from_env_args, write_csv, BenchTracer, Table};
 use tucker_core::model::{predict, ModelConfig};
 use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_linalg::Scalar;
-use tucker_mpisim::{CostModel, Simulator};
+use tucker_mpisim::{CostModel, Simulator, ThreadTopology};
 
-fn measured<T: Scalar>(tracer: &BenchTracer, p: usize, method: SvdMethod) -> f64 {
+fn measured<T: Scalar>(
+    tracer: &BenchTracer,
+    topo: Option<ThreadTopology>,
+    p: usize,
+    method: SvdMethod,
+) -> f64 {
     let d = 32usize;
     let dims = [d, d, d, d];
     let ranks = vec![4usize; 4];
@@ -31,7 +36,10 @@ fn measured<T: Scalar>(tracer: &BenchTracer, p: usize, method: SvdMethod) -> f64
         _ => (qr_grid, ModeOrder::Backward, "qr"),
     };
     let cfg = SthosvdConfig::with_ranks(ranks).method(method).order(order);
-    let sim = tracer.apply(Simulator::new(p).with_cost(CostModel::andes()));
+    let mut sim = tracer.apply(Simulator::new(p).with_cost(CostModel::andes()));
+    if let Some(t) = topo {
+        sim = sim.with_threads(t);
+    }
     let out = sim.run(|ctx| {
         let dt = DistTensor::from_fn(&dims, &ProcessorGrid::new(&grid), ctx.rank(), |g| {
             let lin = g[0] + d * (g[1] + d * (g[2] + d * g[3]));
@@ -45,13 +53,14 @@ fn measured<T: Scalar>(tracer: &BenchTracer, p: usize, method: SvdMethod) -> f64
 
 fn main() {
     let tracer = BenchTracer::from_env_args();
+    let topo = threads_from_env_args();
     println!("--- measured (simulated ranks): 32^4 -> 4^4, 1..16 ranks ---\n");
     let mut table = Table::new(&["ranks", "Gram single", "QR single", "Gram double", "QR double"]);
     for p in [1usize, 2, 4, 8, 16] {
-        let gs = measured::<f32>(&tracer, p, SvdMethod::Gram);
-        let qs = measured::<f32>(&tracer, p, SvdMethod::Qr);
-        let gd = measured::<f64>(&tracer, p, SvdMethod::Gram);
-        let qd = measured::<f64>(&tracer, p, SvdMethod::Qr);
+        let gs = measured::<f32>(&tracer, topo, p, SvdMethod::Gram);
+        let qs = measured::<f32>(&tracer, topo, p, SvdMethod::Qr);
+        let gd = measured::<f64>(&tracer, topo, p, SvdMethod::Gram);
+        let qd = measured::<f64>(&tracer, topo, p, SvdMethod::Qr);
         println!("P={p:3}:  Gram-s {gs:.4}s  QR-s {qs:.4}s  Gram-d {gd:.4}s  QR-d {qd:.4}s");
         table.row(vec![
             p.to_string(),

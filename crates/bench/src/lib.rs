@@ -7,10 +7,12 @@
 
 pub mod grids;
 pub mod report;
+pub mod threads;
 pub mod tracing;
 pub mod variants;
 
 pub use grids::{balanced_grid, strong_scaling_grids, table1_grid};
 pub use report::{write_csv, Table};
+pub use threads::threads_from_env_args;
 pub use tracing::BenchTracer;
 pub use variants::{run_compression, run_variant, CompressionRow, Precision, Variant};

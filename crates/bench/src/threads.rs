@@ -1,0 +1,56 @@
+//! `--threads` flag shared by the figure binaries.
+//!
+//! Every `src/bin/` binary that drives the simulated machine accepts
+//! `--threads N|auto` (or the `TUCKER_THREADS` environment variable):
+//! `auto` partitions the process-wide rayon pool evenly across simulated
+//! ranks, an integer pins each rank to that many threads, and leaving it
+//! unset keeps the historical shared-pool behavior. The pool itself is
+//! still sized by `RAYON_NUM_THREADS` (see README §Benchmarks).
+
+use tucker_mpisim::ThreadTopology;
+
+/// Parse a `--threads` value into a topology.
+pub fn parse_threads_spec(spec: &str) -> Result<ThreadTopology, String> {
+    if spec == "auto" {
+        return Ok(ThreadTopology::Partitioned);
+    }
+    match spec.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(ThreadTopology::PerRank(n)),
+        _ => Err(format!("bad --threads '{spec}' (want a positive count or 'auto')")),
+    }
+}
+
+/// Read `--threads` from the process arguments, falling back to the
+/// `TUCKER_THREADS` environment variable. Exits with a usage message on a
+/// malformed value (these are top-level binary flags, not library inputs).
+pub fn threads_from_env_args() -> Option<ThreadTopology> {
+    let mut spec = std::env::var("TUCKER_THREADS").ok();
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--threads" {
+            spec = Some(w[1].clone());
+        }
+    }
+    spec.map(|s| match parse_threads_spec(&s) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_forms() {
+        assert_eq!(parse_threads_spec("auto").unwrap(), ThreadTopology::Partitioned);
+        assert_eq!(parse_threads_spec("1").unwrap(), ThreadTopology::PerRank(1));
+        assert_eq!(parse_threads_spec("4").unwrap(), ThreadTopology::PerRank(4));
+        for bad in ["0", "-2", "many", ""] {
+            assert!(parse_threads_spec(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -11,7 +11,8 @@ use tucker_data::{hcci_surrogate, hash_noise, sp_surrogate, video_surrogate};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_linalg::Scalar;
 use tucker_mpisim::{
-    chrome_trace_json, text_timeline, CostModel, FaultPlan, Simulator, TraceConfig,
+    chrome_trace_json, text_timeline, CostModel, FaultPlan, Simulator, ThreadTopology,
+    TraceConfig,
 };
 use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision};
 use tucker_tensor::Tensor;
@@ -27,7 +28,10 @@ usage:
                   [--tol 1e-4 | --ranks 5x5x5] [--method qr|gram|gram-mixed|randomized]
                   [--order forward|backward] [--trace out.json] [--timeline out.txt] [--validate]
                   [--inject SPEC] [--watchdog-ms N] [--checkpoint-dir DIR] [--resume]
+                  [--threads N|auto]
                   (SPEC example: crash:rank=2,op=40;drop:rank=0,op=5,times=2)
+                  (--threads caps rayon threads per simulated rank; 'auto'
+                   splits the pool evenly across ranks)
   tucker info <file.tns|file.tkr>
   tucker error <original.tns> <reconstruction.tns>
   tucker help";
@@ -51,6 +55,18 @@ pub fn run(a: &Args) -> Result<(), String> {
 
 fn io_err(e: std::io::Error) -> String {
     e.to_string()
+}
+
+/// Parse the `--threads` value: an explicit per-rank thread count, or `auto`
+/// to partition the process-wide rayon pool evenly across simulated ranks.
+fn parse_threads(spec: &str) -> Result<ThreadTopology, String> {
+    if spec == "auto" {
+        return Ok(ThreadTopology::Partitioned);
+    }
+    match spec.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(ThreadTopology::PerRank(n)),
+        _ => Err(format!("bad --threads '{spec}' (want a positive count or 'auto')")),
+    }
 }
 
 /// Build a synthetic tensor of the given kind (`generate` and file-less
@@ -229,6 +245,9 @@ fn simulate(a: &Args) -> Result<(), String> {
     if let Some(ms) = a.opt("watchdog-ms") {
         let ms: u64 = ms.parse().map_err(|_| "bad --watchdog-ms")?;
         sim = sim.with_watchdog(Duration::from_millis(ms));
+    }
+    if let Some(t) = a.opt("threads") {
+        sim = sim.with_threads(parse_threads(t)?);
     }
     let grid = ProcessorGrid::new(&grid_dims);
     let out = sim
@@ -444,6 +463,29 @@ mod tests {
         assert!(json.contains("\"name\":\"Gram"), "missing Gram span");
         assert!(json.contains("\"name\":\"EVD"), "missing EVD span");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_accepts_thread_topology_flags() {
+        for spec in ["1", "2", "auto"] {
+            run(&parse(&toks(&format!(
+                "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 2x2x2 --threads {spec}"
+            )))
+            .unwrap())
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_threads_value() {
+        for spec in ["0", "-1", "many"] {
+            let msg = run(&parse(&toks(&format!(
+                "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 2x2x2 --threads {spec}"
+            )))
+            .unwrap())
+            .unwrap_err();
+            assert!(msg.contains("--threads"), "{msg}");
+        }
     }
 
     #[test]

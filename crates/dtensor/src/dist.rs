@@ -101,7 +101,9 @@ impl<T: Scalar> DistTensor<T> {
     /// Reassemble the global tensor on every rank (verification only —
     /// all-gathers the full data).
     pub fn gather(&self, ctx: &mut Ctx, world: &mut Comm) -> Tensor<T> {
-        let datas: Vec<Vec<T>> = world.allgather(ctx, self.local.data().to_vec());
+        // Shared allgather: each rank reads every block through the
+        // originator's allocation instead of deep-copying it out first.
+        let datas = world.allgather_shared(ctx, self.local.data().to_vec());
         let mut out = Tensor::zeros(&self.global_dims);
         for (rank, data) in datas.iter().enumerate() {
             let coords = self.grid.coords(rank);
@@ -109,7 +111,7 @@ impl<T: Scalar> DistTensor<T> {
                 .map(|n| block_range(self.global_dims[n], self.grid.dims()[n], coords[n]))
                 .collect();
             let local_dims: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
-            let block = Tensor::from_data(&local_dims, data.clone());
+            let block = Tensor::from_data(&local_dims, data.to_vec());
             // Copy block into the global tensor.
             let total = block.len();
             let mut lidx = vec![0usize; local_dims.len()];

@@ -205,7 +205,10 @@ fn binomial_reduce<T: Scalar>(ctx: &mut Ctx, world: &mut Comm, l: &mut Matrix<T>
         mask <<= 1;
         level += 1;
     }
-    let packed = comm.bcast(ctx, 0, (me == 0).then(|| pack_lower(l)));
+    // Zero-copy broadcast: interior tree nodes forward one shared packed
+    // buffer instead of re-cloning it per child; only the final unpack reads
+    // it.
+    let packed = comm.bcast_shared(ctx, 0, (me == 0).then(|| pack_lower(l)));
     *l = unpack_lower(m, &packed);
 }
 

@@ -1,0 +1,409 @@
+//! The register-tiled GEMM engine shared by every dense kernel in this
+//! crate (`gemm`, `syrk_lower`, `mixed::syrk_lower_f64_acc`, and the TTM
+//! call sites in the tensor crates).
+//!
+//! Layout is the classic Goto/BLIS loop nest: a `jc` loop over `NC`-wide
+//! column blocks of C, a `pc` loop over `KC`-deep slabs of the inner
+//! dimension (B packed once per `(jc, pc)`), an `ic` loop over `MC`-tall row
+//! blocks (A packed once per `(pc, ic)` and reused across every column panel
+//! of the block), and finally `jr`/`ir` micro loops that feed the
+//! per-precision `MR×NR` register tile ([`Scalar::gemm_microkernel`]).
+//! The packed operands live in thread-local scratch
+//! ([`Scalar::with_pack_scratch`]) rather than per-call allocations, and the
+//! accumulator tile is written back to C through contiguous column slices
+//! whenever C's columns are contiguous.
+//!
+//! Determinism contract: for a given output element `(i, j)` the
+//! floating-point accumulation order depends only on the `pc` blocking of
+//! the inner dimension (fixed: ascending `KC` blocks from 0) and on the
+//! microkernel's per-element loop (a single accumulator updated in ascending
+//! `l`). It does *not* depend on where the element sits inside a tile, nor
+//! on which row/column block of a larger matrix the call covers. Computing
+//! any sub-rectangle of C with the same full inner dimension therefore
+//! produces bit-identical values to computing all of C at once — which is
+//! what makes the 2D-parallel drivers in `gemm.rs`/`syrk.rs` bit-identical
+//! to their serial paths, for any thread count.
+
+use crate::scalar::Scalar;
+use crate::view::{MatMut, MatRef};
+
+/// Rows per packed A block (multiple of every [`Scalar::MR`]).
+pub const MC: usize = 64;
+/// Inner-dimension depth per packed slab.
+pub const KC: usize = 256;
+/// Columns per packed B block (multiple of every [`Scalar::NR`]).
+pub const NC: usize = 512;
+
+/// Upper bound on `MR·NR` across implemented precisions (stack accumulator).
+const MAX_TILE: usize = 64;
+
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Pack `a[r0..r0+mb, p0..p0+kb]` into `MR`-row panels: panel `ip` holds
+/// rows `r0 + ip·MR ..`, stored column-by-column so the microkernel reads
+/// `buf[ip·MR·kb + l·MR + i]`. Rows past `mb` in the last panel are zeroed
+/// (the microkernel always processes full tiles; zero rows add exact zeros).
+pub(crate) fn pack_a<T: Scalar>(
+    a: MatRef<'_, T>,
+    r0: usize,
+    p0: usize,
+    mb: usize,
+    kb: usize,
+    buf: &mut [T],
+) {
+    let mr = T::MR;
+    let panels = mb.div_ceil(mr);
+    debug_assert!(buf.len() >= panels * mr * kb);
+    for ip in 0..panels {
+        let rows = mr.min(mb - ip * mr);
+        let panel = &mut buf[ip * mr * kb..(ip * mr * kb) + mr * kb];
+        if a.col_contiguous() {
+            // Column-major source: each packed column is a contiguous copy.
+            for l in 0..kb {
+                let src = &a.col_slice(p0 + l)[r0 + ip * mr..r0 + ip * mr + rows];
+                let dst = &mut panel[l * mr..l * mr + mr];
+                dst[..rows].copy_from_slice(src);
+                for v in &mut dst[rows..] {
+                    *v = T::ZERO;
+                }
+            }
+        } else {
+            for l in 0..kb {
+                let dst = &mut panel[l * mr..l * mr + mr];
+                for (i, v) in dst.iter_mut().enumerate() {
+                    *v = if i < rows { a.get(r0 + ip * mr + i, p0 + l) } else { T::ZERO };
+                }
+            }
+        }
+    }
+}
+
+/// Pack `b[p0..p0+kb, c0..c0+nb]` into `NR`-column panels: panel `jp` holds
+/// columns `c0 + jp·NR ..`, stored row-by-row so the microkernel reads
+/// `buf[jp·NR·kb + l·NR + j]`. Columns past `nb` are zeroed.
+pub(crate) fn pack_b<T: Scalar>(
+    b: MatRef<'_, T>,
+    p0: usize,
+    c0: usize,
+    kb: usize,
+    nb: usize,
+    buf: &mut [T],
+) {
+    let nr = T::NR;
+    let panels = nb.div_ceil(nr);
+    debug_assert!(buf.len() >= panels * nr * kb);
+    for jp in 0..panels {
+        let cols = nr.min(nb - jp * nr);
+        let panel = &mut buf[jp * nr * kb..(jp * nr * kb) + nr * kb];
+        if b.row_contiguous() {
+            // Row-major source (e.g. a transposed column-major view): each
+            // packed row is a contiguous copy.
+            for l in 0..kb {
+                let src = &b.row_slice(p0 + l)[c0 + jp * nr..c0 + jp * nr + cols];
+                let dst = &mut panel[l * nr..l * nr + nr];
+                dst[..cols].copy_from_slice(src);
+                for v in &mut dst[cols..] {
+                    *v = T::ZERO;
+                }
+            }
+        } else {
+            for l in 0..kb {
+                let dst = &mut panel[l * nr..l * nr + nr];
+                for (j, v) in dst.iter_mut().enumerate() {
+                    *v = if j < cols { b.get(p0 + l, c0 + jp * nr + j) } else { T::ZERO };
+                }
+            }
+        }
+    }
+}
+
+/// Run the microkernel over every `MR×NR` tile of an `mb×nb` block and
+/// accumulate `alpha ·` (packed A · packed B) into `c[r0.., c0..]`. Edge
+/// tiles compute a full padded register tile and store only the live part.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel<T: Scalar>(
+    alpha: T,
+    apack: &[T],
+    bpack: &[T],
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    c: &mut MatMut<'_, T>,
+    r0: usize,
+    c0: usize,
+) {
+    let (mr, nr) = (T::MR, T::NR);
+    debug_assert!(mr * nr <= MAX_TILE);
+    let col_fast = c.col_contiguous();
+    for jp in 0..nb.div_ceil(nr) {
+        let cols = nr.min(nb - jp * nr);
+        let bpanel = &bpack[jp * nr * kb..(jp * nr * kb) + nr * kb];
+        for ip in 0..mb.div_ceil(mr) {
+            let rows = mr.min(mb - ip * mr);
+            let apanel = &apack[ip * mr * kb..(ip * mr * kb) + mr * kb];
+            let mut acc = [T::ZERO; MAX_TILE];
+            T::gemm_microkernel(kb, apanel, bpanel, &mut acc[..mr * nr]);
+            let (ri, ci) = (r0 + ip * mr, c0 + jp * nr);
+            if col_fast {
+                for j in 0..cols {
+                    let col = &mut c.col_slice_mut(ci + j)[ri..ri + rows];
+                    let tile = &acc[j * mr..j * mr + rows];
+                    if alpha == T::ONE {
+                        for (dst, &v) in col.iter_mut().zip(tile) {
+                            *dst += v;
+                        }
+                    } else {
+                        for (dst, &v) in col.iter_mut().zip(tile) {
+                            *dst = v.mul_add(alpha, *dst);
+                        }
+                    }
+                }
+            } else {
+                for j in 0..cols {
+                    for i in 0..rows {
+                        let v = acc[j * mr + i];
+                        c.update(ri + i, ci + j, |old| v.mul_add(alpha, old));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serial blocked driver: `C += alpha · A · B`. Assumes the caller already
+/// applied `beta` to C and that no dimension is zero.
+pub(crate) fn gemm_blocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!((c.rows(), c.cols()), (m, n));
+    if m == 0 || n == 0 || k == 0 || alpha == T::ZERO {
+        return;
+    }
+    let a_len = round_up(MC.min(m), T::MR) * KC.min(k);
+    let b_len = KC.min(k) * round_up(NC.min(n), T::NR);
+    T::with_pack_scratch(a_len, b_len, |apack, bpack| {
+        let mut jc = 0;
+        while jc < n {
+            let nb = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                pack_b(b, pc, jc, kb, nb, bpack);
+                let mut ic = 0;
+                while ic < m {
+                    let mb = MC.min(m - ic);
+                    pack_a(a, ic, pc, mb, kb, apack);
+                    macro_kernel(alpha, apack, bpack, mb, nb, kb, c, ic, jc);
+                    ic += mb;
+                }
+                pc += kb;
+            }
+            jc += nb;
+        }
+    });
+}
+
+/// A fully packed copy of an A operand, reusable across many GEMM calls
+/// against different B/C (the TTM pattern: one small factor matrix applied
+/// to every row-major block of a tensor unfolding).
+pub struct PackedA<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    /// Packed `(pc, ic)` blocks in driver walk order.
+    buf: Vec<T>,
+    /// `offsets[pc_idx * ic_blocks + ic_idx]` into `buf`.
+    offsets: Vec<usize>,
+}
+
+impl<T: Scalar> PackedA<T> {
+    /// Pack the whole of `a` once, in the exact layout [`gemm_blocked`]
+    /// produces block by block (so results are bit-identical to unpacked
+    /// calls).
+    pub fn new(a: MatRef<'_, T>) -> Self {
+        let (m, k) = (a.rows(), a.cols());
+        let pc_blocks = k.div_ceil(KC).max(1);
+        let ic_blocks = m.div_ceil(MC).max(1);
+        let mut buf = Vec::new();
+        let mut offsets = Vec::with_capacity(pc_blocks * ic_blocks);
+        if m > 0 && k > 0 {
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                let mut ic = 0;
+                while ic < m {
+                    let mb = MC.min(m - ic);
+                    let len = round_up(mb, T::MR) * kb;
+                    let off = buf.len();
+                    offsets.push(off);
+                    buf.resize(off + len, T::ZERO);
+                    pack_a(a, ic, pc, mb, kb, &mut buf[off..]);
+                    ic += mb;
+                }
+                pc += kb;
+            }
+        }
+        PackedA { rows: m, cols: k, buf, offsets }
+    }
+
+    /// Rows of the packed operand.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (inner dimension) of the packed operand.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn block(&self, pc_idx: usize, ic_idx: usize) -> &[T] {
+        let ic_blocks = self.rows.div_ceil(MC).max(1);
+        let i = pc_idx * ic_blocks + ic_idx;
+        let start = self.offsets[i];
+        let end = self.offsets.get(i + 1).copied().unwrap_or(self.buf.len());
+        &self.buf[start..end]
+    }
+}
+
+/// `C += alpha · A · B` with A pre-packed. Bit-identical to
+/// [`gemm_blocked`] on the same operands.
+pub fn gemm_prepacked<T: Scalar>(
+    alpha: T,
+    a: &PackedA<T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+) {
+    let (m, k) = (a.rows, a.cols);
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "gemm_prepacked: inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm_prepacked: output shape mismatch");
+    if m == 0 || n == 0 || k == 0 || alpha == T::ZERO {
+        return;
+    }
+    let b_len = KC.min(k) * round_up(NC.min(n), T::NR);
+    T::with_pack_scratch(0, b_len, |_, bpack| {
+        let mut jc = 0;
+        while jc < n {
+            let nb = NC.min(n - jc);
+            let mut pc_idx = 0;
+            let mut pc = 0;
+            while pc < k {
+                let kb = KC.min(k - pc);
+                pack_b(b, pc, jc, kb, nb, bpack);
+                let mut ic_idx = 0;
+                let mut ic = 0;
+                while ic < m {
+                    let mb = MC.min(m - ic);
+                    macro_kernel(alpha, a.block(pc_idx, ic_idx), bpack, mb, nb, kb, c, ic, jc);
+                    ic += mb;
+                    ic_idx += 1;
+                }
+                pc += kb;
+                pc_idx += 1;
+            }
+            jc += nb;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn pseudo_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn microkernel_matches_scalar_tile() {
+        let (mr, nr) = (<f64 as Scalar>::MR, <f64 as Scalar>::NR);
+        let kb = 17;
+        let ap: Vec<f64> = (0..mr * kb).map(|i| (i as f64 * 0.37).sin()).collect();
+        let bp: Vec<f64> = (0..nr * kb).map(|i| (i as f64 * 0.73).cos()).collect();
+        let mut acc = vec![0.25f64; mr * nr];
+        f64::gemm_microkernel(kb, &ap, &bp, &mut acc);
+        for j in 0..nr {
+            for i in 0..mr {
+                let mut want = 0.25;
+                for l in 0..kb {
+                    want = ap[l * mr + i].mul_add(bp[l * nr + j], want);
+                }
+                assert_eq!(acc[j * mr + i], want, "tile ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn block_results_match_full_results_bitwise() {
+        // The determinism contract: computing a sub-rectangle of C yields
+        // the same bits as the corresponding part of the full product.
+        let a = pseudo_matrix(70, 300, 1);
+        let b = pseudo_matrix(300, 90, 2);
+        let mut full = Matrix::zeros(70, 90);
+        gemm_blocked(1.0, a.as_ref(), b.as_ref(), &mut full.as_mut());
+        let (r0, c0, mb, nb) = (20, 30, 40, 50);
+        let mut part = Matrix::zeros(mb, nb);
+        gemm_blocked(
+            1.0,
+            a.as_ref().submatrix(r0, 0, mb, 300),
+            b.as_ref().submatrix(0, c0, 300, nb),
+            &mut part.as_mut(),
+        );
+        for j in 0..nb {
+            for i in 0..mb {
+                assert_eq!(part[(i, j)], full[(r0 + i, c0 + j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_matches_blocked_bitwise() {
+        let a = pseudo_matrix(130, 270, 3);
+        let b = pseudo_matrix(270, 60, 4);
+        let mut plain = Matrix::zeros(130, 60);
+        gemm_blocked(1.5, a.as_ref(), b.as_ref(), &mut plain.as_mut());
+        let packed = PackedA::new(a.as_ref());
+        let mut pre = Matrix::zeros(130, 60);
+        gemm_prepacked(1.5, &packed, b.as_ref(), &mut pre.as_mut());
+        assert_eq!(plain.data(), pre.data());
+    }
+
+    #[test]
+    fn packing_handles_transposed_and_strided_views() {
+        let a = pseudo_matrix(33, 21, 5);
+        let at = a.as_ref().t(); // 21x33, row-contiguous
+        let b = pseudo_matrix(21, 13, 6);
+        let bt_src = pseudo_matrix(13, 21, 7);
+        let bt = bt_src.as_ref().t(); // 21x13, col stride 1 per row
+        let mut c1 = Matrix::zeros(33, 13);
+        gemm_blocked(1.0, a.as_ref(), b.as_ref(), &mut c1.as_mut());
+        let mut c2 = Matrix::zeros(33, 13);
+        gemm_blocked(1.0, at.t(), bt, &mut c2.as_mut());
+        // Same A either way; different B values — just check shapes and that
+        // the strided-B path produced finite, nonzero output.
+        assert!(c2.data().iter().all(|v| v.is_finite()));
+        assert!(c1.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn empty_operands_are_noops() {
+        let a = Matrix::<f64>::zeros(0, 5);
+        let b = Matrix::<f64>::zeros(5, 3);
+        let mut c = Matrix::<f64>::zeros(0, 3);
+        gemm_blocked(1.0, a.as_ref(), b.as_ref(), &mut c.as_mut());
+        let packed = PackedA::<f64>::new(a.as_ref());
+        gemm_prepacked(1.0, &packed, b.as_ref(), &mut c.as_mut());
+    }
+}

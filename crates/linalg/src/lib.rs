@@ -34,6 +34,7 @@ pub mod scalar;
 pub mod matrix;
 pub mod view;
 pub mod gemm;
+pub mod kernel;
 pub mod syrk;
 pub mod householder;
 pub mod qr;
@@ -55,7 +56,8 @@ pub use scalar::Scalar;
 pub use matrix::Matrix;
 pub use view::{MatMut, MatRef};
 pub use blocked_qr::{gelqf_blocked, geqrf_blocked, lq_factor_blocked};
-pub use gemm::{gemm, gemm_into, Trans};
+pub use gemm::{gemm, gemm_into, gemm_reference, Trans};
+pub use kernel::{gemm_prepacked, PackedA};
 pub use syrk::syrk_lower;
 pub use svd::{svd_left, SvdOutput};
 pub use eig::{syev, EigOutput};

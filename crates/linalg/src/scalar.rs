@@ -88,10 +88,38 @@ pub trait Scalar:
     /// fault injection to model in-transit corruption: an exponent-bit flip
     /// of a normal value yields a non-finite one the numerical guards catch.
     fn flip_bit(self, bit: u32) -> Self;
+
+    /// Microkernel register-tile rows. Together with [`Scalar::NR`] this
+    /// sizes the accumulator block of the GEMM microkernel: `MR·NR` live
+    /// accumulators plus one packed A column must fit the vector register
+    /// file, so `f32` (twice the lanes per register) gets twice the rows —
+    /// the ~2× single-precision tile throughput the paper's machine model
+    /// assumes.
+    const MR: usize;
+    /// Microkernel register-tile columns.
+    const NR: usize;
+
+    /// The register-tiled outer-product microkernel:
+    /// `acc[j*MR + i] += Σ_l apanel[l*MR + i] · bpanel[l*NR + j]`
+    /// for a full `MR×NR` tile over `kb` packed rank-1 updates. `apanel`
+    /// holds an `MR`-row slab of packed A (column `l` contiguous), `bpanel`
+    /// an `NR`-column slab of packed B (row `l` contiguous). Monomorphized
+    /// per type so the `i`/`j` loops unroll over literal tile sizes.
+    fn gemm_microkernel(kb: usize, apanel: &[Self], bpanel: &[Self], acc: &mut [Self]);
+
+    /// Run `f` with two zero-initialized pack buffers of at least the given
+    /// lengths, reusing a thread-local allocation across calls (the pack
+    /// scratch of the blocked GEMM — per-call `vec!`s would dominate small
+    /// multiplies). Falls back to fresh buffers on re-entrant use.
+    fn with_pack_scratch<R>(
+        a_len: usize,
+        b_len: usize,
+        f: impl FnOnce(&mut [Self], &mut [Self]) -> R,
+    ) -> R;
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $name:expr) => {
+    ($t:ty, $name:expr, $mr:expr, $nr:expr, $ukr:ident) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -153,12 +181,190 @@ macro_rules! impl_scalar {
                 let width = (Self::BYTES * 8) as u32;
                 <$t>::from_bits(self.to_bits() ^ (1 << (bit % width)))
             }
+
+            const MR: usize = $mr;
+            const NR: usize = $nr;
+
+            fn gemm_microkernel(kb: usize, apanel: &[Self], bpanel: &[Self], acc: &mut [Self]) {
+                #[cfg(target_arch = "x86_64")]
+                if simd::have_avx2_fma() {
+                    // SAFETY: the required target features were just
+                    // verified at runtime; slice lengths are asserted
+                    // inside the kernel before any raw-pointer access.
+                    unsafe { simd::$ukr(kb, apanel, bpanel, acc) };
+                    return;
+                }
+                const MR: usize = $mr;
+                const NR: usize = $nr;
+                assert!(apanel.len() >= kb * MR && bpanel.len() >= kb * NR);
+                let acc: &mut [$t; MR * NR] = (&mut acc[..MR * NR]).try_into().unwrap();
+                // Portable fallback: same tile, plain mul_adds. Each k step
+                // is MR·NR independent updates fed by MR + NR loads.
+                let mut t = [[0.0 as $t; MR]; NR];
+                for (j, tj) in t.iter_mut().enumerate() {
+                    for (i, v) in tj.iter_mut().enumerate() {
+                        *v = acc[j * MR + i];
+                    }
+                }
+                for l in 0..kb {
+                    let a: &[$t; MR] = apanel[l * MR..l * MR + MR].try_into().unwrap();
+                    let b: &[$t; NR] = bpanel[l * NR..l * NR + NR].try_into().unwrap();
+                    for (tj, &bj) in t.iter_mut().zip(b.iter()) {
+                        for (v, &ai) in tj.iter_mut().zip(a.iter()) {
+                            *v = ai.mul_add(bj, *v);
+                        }
+                    }
+                }
+                for (j, tj) in t.iter().enumerate() {
+                    for (i, &v) in tj.iter().enumerate() {
+                        acc[j * MR + i] = v;
+                    }
+                }
+            }
+
+            fn with_pack_scratch<R>(
+                a_len: usize,
+                b_len: usize,
+                f: impl FnOnce(&mut [Self], &mut [Self]) -> R,
+            ) -> R {
+                use std::cell::RefCell;
+                thread_local! {
+                    static SCRATCH: RefCell<(Vec<$t>, Vec<$t>)> =
+                        const { RefCell::new((Vec::new(), Vec::new())) };
+                }
+                SCRATCH.with(|cell| match cell.try_borrow_mut() {
+                    Ok(mut s) => {
+                        let (a, b) = &mut *s;
+                        if a.len() < a_len {
+                            a.resize(a_len, 0.0);
+                        }
+                        if b.len() < b_len {
+                            b.resize(b_len, 0.0);
+                        }
+                        f(&mut a[..a_len], &mut b[..b_len])
+                    }
+                    // Re-entrant call (a kernel invoked from inside another
+                    // kernel's pack closure): fall back to fresh buffers.
+                    Err(_) => {
+                        let mut a = vec![0.0 as $t; a_len];
+                        let mut b = vec![0.0 as $t; b_len];
+                        f(&mut a, &mut b)
+                    }
+                })
+            }
         }
     };
 }
 
-impl_scalar!(f32, "single");
-impl_scalar!(f64, "double");
+// Tile shapes sized for the 16-register AVX2 file: the f64 tile holds
+// 8×4 = 32 accumulators (8 ymm), the f32 tile 16×4 = 64 (also 8 ymm) —
+// same register budget, twice the flops per load, which is where single
+// precision's ~2× tile throughput comes from. On non-x86_64 targets the
+// portable fallback uses the same shapes so results are layout-identical.
+impl_scalar!(f32, "single", 16, 4, ukr_f32);
+impl_scalar!(f64, "double", 8, 4, ukr_f64);
+
+/// Explicit-SIMD microkernels. The portable loop in `impl_scalar!` is the
+/// semantic reference; these compute the same tile with packed FMA ops
+/// (fused, so the low bits differ from the unfused fallback — callers never
+/// mix the two paths within a run because feature detection is constant).
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// True when the AVX2+FMA microkernels may be used. `std` caches the
+    /// CPUID results, so this costs an atomic load per call.
+    #[inline]
+    pub(super) fn have_avx2_fma() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// 8×4 `f64` tile: two ymm accumulators per B column, one broadcast
+    /// per B element, two packed FMAs per broadcast.
+    ///
+    /// # Safety
+    /// Caller must verify AVX2+FMA support (see [`have_avx2_fma`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn ukr_f64(kb: usize, apanel: &[f64], bpanel: &[f64], acc: &mut [f64]) {
+        const MR: usize = 8;
+        const NR: usize = 4;
+        assert!(apanel.len() >= kb * MR && bpanel.len() >= kb * NR && acc.len() >= MR * NR);
+        unsafe {
+            let mut t = [_mm256_setzero_pd(); 2 * NR];
+            for j in 0..NR {
+                t[2 * j] = _mm256_loadu_pd(acc.as_ptr().add(j * MR));
+                t[2 * j + 1] = _mm256_loadu_pd(acc.as_ptr().add(j * MR + 4));
+            }
+            let mut ap = apanel.as_ptr();
+            let mut bp = bpanel.as_ptr();
+            for _ in 0..kb {
+                let a0 = _mm256_loadu_pd(ap);
+                let a1 = _mm256_loadu_pd(ap.add(4));
+                let b0 = _mm256_set1_pd(*bp);
+                t[0] = _mm256_fmadd_pd(a0, b0, t[0]);
+                t[1] = _mm256_fmadd_pd(a1, b0, t[1]);
+                let b1 = _mm256_set1_pd(*bp.add(1));
+                t[2] = _mm256_fmadd_pd(a0, b1, t[2]);
+                t[3] = _mm256_fmadd_pd(a1, b1, t[3]);
+                let b2 = _mm256_set1_pd(*bp.add(2));
+                t[4] = _mm256_fmadd_pd(a0, b2, t[4]);
+                t[5] = _mm256_fmadd_pd(a1, b2, t[5]);
+                let b3 = _mm256_set1_pd(*bp.add(3));
+                t[6] = _mm256_fmadd_pd(a0, b3, t[6]);
+                t[7] = _mm256_fmadd_pd(a1, b3, t[7]);
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            for j in 0..NR {
+                _mm256_storeu_pd(acc.as_mut_ptr().add(j * MR), t[2 * j]);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(j * MR + 4), t[2 * j + 1]);
+            }
+        }
+    }
+
+    /// 16×4 `f32` tile: identical structure to [`ukr_f64`] with twice the
+    /// lanes per register.
+    ///
+    /// # Safety
+    /// Caller must verify AVX2+FMA support (see [`have_avx2_fma`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn ukr_f32(kb: usize, apanel: &[f32], bpanel: &[f32], acc: &mut [f32]) {
+        const MR: usize = 16;
+        const NR: usize = 4;
+        assert!(apanel.len() >= kb * MR && bpanel.len() >= kb * NR && acc.len() >= MR * NR);
+        unsafe {
+            let mut t = [_mm256_setzero_ps(); 2 * NR];
+            for j in 0..NR {
+                t[2 * j] = _mm256_loadu_ps(acc.as_ptr().add(j * MR));
+                t[2 * j + 1] = _mm256_loadu_ps(acc.as_ptr().add(j * MR + 8));
+            }
+            let mut ap = apanel.as_ptr();
+            let mut bp = bpanel.as_ptr();
+            for _ in 0..kb {
+                let a0 = _mm256_loadu_ps(ap);
+                let a1 = _mm256_loadu_ps(ap.add(8));
+                let b0 = _mm256_set1_ps(*bp);
+                t[0] = _mm256_fmadd_ps(a0, b0, t[0]);
+                t[1] = _mm256_fmadd_ps(a1, b0, t[1]);
+                let b1 = _mm256_set1_ps(*bp.add(1));
+                t[2] = _mm256_fmadd_ps(a0, b1, t[2]);
+                t[3] = _mm256_fmadd_ps(a1, b1, t[3]);
+                let b2 = _mm256_set1_ps(*bp.add(2));
+                t[4] = _mm256_fmadd_ps(a0, b2, t[4]);
+                t[5] = _mm256_fmadd_ps(a1, b2, t[5]);
+                let b3 = _mm256_set1_ps(*bp.add(3));
+                t[6] = _mm256_fmadd_ps(a0, b3, t[6]);
+                t[7] = _mm256_fmadd_ps(a1, b3, t[7]);
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            for j in 0..NR {
+                _mm256_storeu_ps(acc.as_mut_ptr().add(j * MR), t[2 * j]);
+                _mm256_storeu_ps(acc.as_mut_ptr().add(j * MR + 8), t[2 * j + 1]);
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -6,96 +6,111 @@
 //! the QR-SVD path's LQ factorization costs (`2·n·m²`), which is exactly the
 //! trade the paper quantifies in §3.5.
 //!
-//! The kernel accumulates rank-1 updates column by column so that the `m x m`
-//! output stays cache-resident; above a size threshold the columns are
-//! sharded across rayon tasks with per-task accumulators.
+//! Since PR 3 the kernel shares the register-tiled engine in
+//! [`crate::kernel`]: C is decomposed into `SB×SB` block tiles, only the
+//! block-lower triangle is computed (as `A_row · A_colᵀ` through the packed
+//! microkernel), and the strict upper triangle is mirrored afterwards.
+//! Because every tile runs the same engine over the same ascending
+//! inner-dimension blocking, the parallel tile schedule is bit-identical to
+//! the serial one, and `C[i,j] == C[j,i]` exactly (the products commute
+//! term by term).
 
+use crate::kernel;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
-use crate::view::MatRef;
+use crate::view::{MatMut, MatRef};
 use rayon::prelude::*;
 
-/// Column count above which the parallel path is used.
-const PAR_COL_THRESHOLD: usize = 4096;
+/// Side length of the block tiles the output triangle is decomposed into.
+const SB: usize = 128;
+
+/// Flop count above which the parallel tile schedule is used.
+const PAR_FLOP_THRESHOLD: usize = 1 << 22;
 
 /// Lower triangle of `A·Aᵀ`, symmetrized into a full matrix.
 ///
-/// `A` is `m x n`; the result is `m x m`. Works on any strided view; columns
-/// of column-major views are processed as contiguous slices.
+/// `A` is `m x n`; the result is `m x m`. Works on any strided view.
 pub fn syrk_lower<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
     let m = a.rows();
     let n = a.cols();
-    let mut c = if n >= PAR_COL_THRESHOLD && rayon::current_num_threads() > 1 {
-        syrk_parallel(a)
+    let mut c = Matrix::zeros(m, m);
+    let flops = m.saturating_mul(m).saturating_mul(n);
+    if flops >= PAR_FLOP_THRESHOLD && rayon::current_num_threads() > 1 && m > SB {
+        syrk_parallel(a, &mut c);
     } else {
-        let mut c = Matrix::zeros(m, m);
-        accumulate_cols(a, 0, n, &mut c);
-        c
-    };
-    // Mirror the lower triangle into the upper one.
+        syrk_lower_acc(a, &mut c.as_mut());
+    }
+    mirror_lower(&mut c);
+    c
+}
+
+/// `C += A·Aᵀ` on the block-lower triangle of C only (serial). The strict
+/// upper triangle outside the diagonal blocks is left untouched; callers
+/// mirror it when they need the full matrix. Shared with the
+/// mixed-precision accumulator in `mixed.rs`.
+pub(crate) fn syrk_lower_acc<T: Scalar>(a: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert_eq!((c.rows(), c.cols()), (m, m));
+    if m == 0 || n == 0 {
+        return;
+    }
+    let at = a.t();
+    let mut jb = 0;
+    while jb < m {
+        let nb = SB.min(m - jb);
+        let mut ib = jb;
+        while ib < m {
+            let mb = SB.min(m - ib);
+            let mut csub = c.submatrix_mut(ib, jb, mb, nb);
+            kernel::gemm_blocked(T::ONE, a.submatrix(ib, 0, mb, n), at.submatrix(0, jb, n, nb), &mut csub);
+            ib += mb;
+        }
+        jb += nb;
+    }
+}
+
+/// Parallel tile schedule: every block-lower tile is computed independently
+/// (same engine, full inner dimension) and copied into C. Bit-identical to
+/// [`syrk_lower_acc`] on a zeroed C.
+fn syrk_parallel<T: Scalar>(a: MatRef<'_, T>, c: &mut Matrix<T>) {
+    let m = a.rows();
+    let n = a.cols();
+    let at = a.t();
+    let mut tiles: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut jb = 0;
+    while jb < m {
+        let nb = SB.min(m - jb);
+        let mut ib = jb;
+        while ib < m {
+            let mb = SB.min(m - ib);
+            tiles.push((ib, jb, mb, nb));
+            ib += mb;
+        }
+        jb += nb;
+    }
+    let mut slots: Vec<Option<Matrix<T>>> = tiles.iter().map(|_| None).collect();
+    slots.par_chunks_mut(1).zip(tiles.par_chunks(1)).for_each(|(slot, t)| {
+        let (ib, jb, mb, nb) = t[0];
+        let mut tile = Matrix::zeros(mb, nb);
+        let mut tm = tile.as_mut();
+        kernel::gemm_blocked(T::ONE, a.submatrix(ib, 0, mb, n), at.submatrix(0, jb, n, nb), &mut tm);
+        slot[0] = Some(tile);
+    });
+    for ((ib, jb, mb, nb), slot) in tiles.into_iter().zip(slots) {
+        let tile = slot.expect("every tile was computed");
+        for j in 0..nb {
+            c.col_mut(jb + j)[ib..ib + mb].copy_from_slice(tile.col(j));
+        }
+    }
+}
+
+/// Copy the strict lower triangle into the strict upper one.
+pub(crate) fn mirror_lower<T: Scalar>(c: &mut Matrix<T>) {
+    let m = c.rows();
     for j in 0..m {
         for i in j + 1..m {
             c[(j, i)] = c[(i, j)];
-        }
-    }
-    c
-}
-
-fn syrk_parallel<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
-    let m = a.rows();
-    let n = a.cols();
-    let tasks = rayon::current_num_threads() * 2;
-    let chunk = n.div_ceil(tasks).max(1);
-    let partials: Vec<Matrix<T>> = (0..n)
-        .into_par_iter()
-        .step_by(chunk)
-        .map(|j0| {
-            let nb = chunk.min(n - j0);
-            let mut c = Matrix::zeros(m, m);
-            accumulate_cols(a, j0, nb, &mut c);
-            c
-        })
-        .collect();
-    let mut c = Matrix::zeros(m, m);
-    for p in partials {
-        for (dst, src) in c.data_mut().iter_mut().zip(p.data()) {
-            *dst += *src;
-        }
-    }
-    c
-}
-
-/// Accumulate `sum_j a_j a_jᵀ` (lower triangle only) for columns `j0..j0+nb`.
-fn accumulate_cols<T: Scalar>(a: MatRef<'_, T>, j0: usize, nb: usize, c: &mut Matrix<T>) {
-    let m = a.rows();
-    if a.col_contiguous() {
-        for j in j0..j0 + nb {
-            let col = a.col_slice(j);
-            rank1_lower(col, c);
-        }
-    } else {
-        let mut buf = vec![T::ZERO; m];
-        for j in j0..j0 + nb {
-            for i in 0..m {
-                buf[i] = a.get(i, j);
-            }
-            rank1_lower(&buf, c);
-        }
-    }
-}
-
-/// `C[i, k] += v[i] * v[k]` for `i >= k` with a contiguous inner loop.
-#[inline]
-fn rank1_lower<T: Scalar>(v: &[T], c: &mut Matrix<T>) {
-    let m = v.len();
-    for k in 0..m {
-        let vk = v[k];
-        if vk == T::ZERO {
-            continue;
-        }
-        let col = c.col_mut(k);
-        for i in k..m {
-            col[i] = v[i].mul_add(vk, col[i]);
         }
     }
 }
@@ -130,9 +145,22 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_serial() {
+    fn parallel_path_matches_serial_bitwise() {
+        // m > SB with enough flops to trigger the tile schedule.
+        let a = pseudo_matrix(200, 2000, 3);
+        rayon::set_current_thread_limit(Some(4));
+        let par = syrk_lower(a.as_ref());
+        rayon::set_current_thread_limit(None);
+        let mut ser = Matrix::zeros(200, 200);
+        syrk_lower_acc(a.as_ref(), &mut ser.as_mut());
+        mirror_lower(&mut ser);
+        assert_eq!(par.data(), ser.data());
+    }
+
+    #[test]
+    fn parallel_path_matches_gemm() {
         let a = pseudo_matrix(8, 5000, 3);
-        let g = syrk_lower(a.as_ref()); // triggers parallel path
+        let g = syrk_lower(a.as_ref());
         let r = gemm_into(a.as_ref(), Trans::No, a.as_ref(), Trans::Yes);
         assert!(g.max_abs_diff(&r) < 1e-9);
     }

@@ -228,11 +228,29 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         self.data[i * self.rs + j * self.cs] = v;
     }
 
+    /// True if columns are contiguous (`rs == 1`).
+    #[inline(always)]
+    pub fn col_contiguous(&self) -> bool {
+        self.rs == 1
+    }
+
     /// In-place update of element at `(i, j)`.
     #[inline(always)]
     pub fn update(&mut self, i: usize, j: usize, f: impl FnOnce(T) -> T) {
         let idx = i * self.rs + j * self.cs;
         self.data[idx] = f(self.data[idx]);
+    }
+
+    /// Column `j` as a mutable slice, when columns are contiguous. This is
+    /// the kernel write path: accumulator tiles land in C through these
+    /// slices instead of per-element strided `update()` calls.
+    pub fn col_slice_mut(&mut self, j: usize) -> &mut [T] {
+        assert!(self.col_contiguous() && j < self.cols);
+        if self.rows == 0 {
+            return &mut [];
+        }
+        let start = j * self.cs;
+        &mut self.data[start..start + self.rows]
     }
 
     /// Immutable reborrow.

@@ -2,14 +2,14 @@
 //! must hold for arbitrary shapes and data.
 
 use proptest::prelude::*;
-use tucker_linalg::gemm::{gemm_into, matmul, Trans};
+use tucker_linalg::gemm::{gemm, gemm_into, matmul, Trans};
 use tucker_linalg::lq::lq_factor;
 use tucker_linalg::qr::qr;
 use tucker_linalg::svd::svd;
 use tucker_linalg::syrk_lower;
 use tucker_linalg::tplqt::tplqt;
 use tucker_linalg::tslq::{tslq_matrix, TslqOptions};
-use tucker_linalg::{syev, Matrix};
+use tucker_linalg::{syev, syrk_lower_f64_acc, MatRef, Matrix, Scalar};
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
     (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(m, n, seed)| {
@@ -146,5 +146,186 @@ proptest! {
         prop_assert_eq!(&t, &a);
         let via_view = a.as_ref().t().t().to_matrix();
         prop_assert_eq!(&via_view, &a);
+    }
+}
+
+// ---- PR3: the register-tiled engine vs a naive oracle, across shapes,
+// ---- memory layouts and precisions.
+
+/// Deterministic pseudo-random matrix in `[-2, 2)`, generic over precision.
+fn seeded<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        T::from_f64(((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0)
+    })
+}
+
+/// Naive triple-loop `alpha·A·B + beta·C` — independently coded oracle.
+fn naive_gemm<T: Scalar>(alpha: T, a: &Matrix<T>, b: &Matrix<T>, beta: T, c0: &Matrix<T>) -> Matrix<T> {
+    Matrix::from_fn(c0.rows(), c0.cols(), |i, j| {
+        let mut acc = T::ZERO;
+        for l in 0..a.cols() {
+            acc += a[(i, l)] * b[(l, j)];
+        }
+        alpha * acc + beta * c0[(i, j)]
+    })
+}
+
+/// The same logical matrix exposed through different memory layouts: dense
+/// column-major, an interior submatrix of a larger allocation (strided
+/// columns), or a transposed view of the transposed storage (row-major
+/// strides). The padding is poisoned so any out-of-window read shows up.
+struct Viewed<T: Scalar> {
+    store: Matrix<T>,
+    kind: u8,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Scalar> Viewed<T> {
+    fn new(base: &Matrix<T>, kind: u8) -> Self {
+        let (m, n) = (base.rows(), base.cols());
+        let store = match kind % 3 {
+            0 => base.clone(),
+            1 => Matrix::from_fn(m + 3, n + 2, |i, j| {
+                if (2..m + 2).contains(&i) && (1..n + 1).contains(&j) {
+                    base[(i - 2, j - 1)]
+                } else {
+                    T::from_f64(1e30)
+                }
+            }),
+            _ => base.transposed(),
+        };
+        Viewed { store, kind: kind % 3, rows: m, cols: n }
+    }
+
+    fn view(&self) -> MatRef<'_, T> {
+        match self.kind {
+            0 => self.store.as_ref(),
+            1 => self.store.as_ref().submatrix(2, 1, self.rows, self.cols),
+            _ => self.store.as_ref().t(),
+        }
+    }
+}
+
+/// Coefficient pairs covering the beta==0 clear, beta==1 accumulate, and
+/// general-scaling paths.
+const COEFS: [(f64, f64); 4] = [(1.0, 0.0), (1.0, 1.0), (-0.5, 0.25), (2.0, -1.0)];
+
+#[allow(clippy::too_many_arguments)]
+fn check_gemm<T: Scalar>(m: usize, k: usize, n: usize, seed: u64, ak: u8, bk: u8, coef: usize, tol: f64) {
+    let a = seeded::<T>(m, k, seed);
+    let b = seeded::<T>(k, n, seed ^ 0x5555_5555);
+    let c0 = seeded::<T>(m, n, seed ^ 0xaaaa_aaaa);
+    let (alpha, beta) = COEFS[coef % COEFS.len()];
+    let (alpha, beta) = (T::from_f64(alpha), T::from_f64(beta));
+    let (av, bv) = (Viewed::new(&a, ak), Viewed::new(&b, bk));
+
+    let mut c = c0.clone();
+    gemm(alpha, av.view(), bv.view(), beta, &mut c.as_mut());
+    let want = naive_gemm(alpha, &a, &b, beta, &c0);
+    let scale = (k as f64) * want.max_abs().to_f64().max(1.0);
+    prop_assert!(
+        c.max_abs_diff(&want).to_f64() <= tol * scale,
+        "gemm({m}x{k}x{n}, views {ak}/{bk}, coef {coef}) diverged from the naive oracle"
+    );
+
+    // Packing reads logical elements in a layout-independent order, so the
+    // result must be bit-identical to the dense-view call, not just close.
+    let mut dense = c0.clone();
+    gemm(alpha, a.as_ref(), b.as_ref(), beta, &mut dense.as_mut());
+    prop_assert_eq!(c.data(), dense.data(), "strided views changed the bit pattern");
+}
+
+fn check_syrk<T: Scalar>(m: usize, n: usize, seed: u64, kind: u8, tol: f64) {
+    let a = seeded::<T>(m, n, seed);
+    let got = syrk_lower(Viewed::new(&a, kind).view());
+    let scale = (n as f64).max(1.0);
+    for i in 0..m {
+        for j in 0..=i {
+            let mut acc = T::ZERO;
+            for l in 0..n {
+                acc += a[(i, l)] * a[(j, l)];
+            }
+            prop_assert!(
+                (got[(i, j)] - acc).abs().to_f64() <= tol * scale * acc.abs().to_f64().max(1.0),
+                "syrk({m}x{n}) entry ({i},{j}) diverged from the naive oracle"
+            );
+            // Mirrored upper triangle must be exact, not approximate.
+            prop_assert_eq!(got[(i, j)], got[(j, i)]);
+        }
+    }
+    let dense = syrk_lower(a.as_ref());
+    prop_assert_eq!(got.data(), dense.data(), "strided views changed the bit pattern");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_matches_naive_f64(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        seed in any::<u64>(), ak in 0u8..3, bk in 0u8..3, coef in 0usize..4,
+    ) {
+        check_gemm::<f64>(m, k, n, seed, ak, bk, coef, 1e-14);
+    }
+
+    #[test]
+    fn gemm_matches_naive_f32(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        seed in any::<u64>(), ak in 0u8..3, bk in 0u8..3, coef in 0usize..4,
+    ) {
+        check_gemm::<f32>(m, k, n, seed, ak, bk, coef, 1e-5);
+    }
+
+    #[test]
+    fn gemm_microkernel_edge_shapes(
+        // Straddle the MR/NR/KC tile boundaries where partial tiles and
+        // zero-padding kick in (f64 MR=8, f32 MR=16, NR=4, KC=256).
+        mi in 0usize..7, ki in 0usize..4, ni in 0usize..4, seed in any::<u64>(),
+    ) {
+        let m = [1usize, 7, 8, 9, 15, 16, 17][mi];
+        let k = [1usize, 255, 256, 257][ki];
+        let n = [1usize, 3, 4, 5][ni];
+        check_gemm::<f64>(m, k, n, seed, 0, 0, 0, 1e-14);
+        check_gemm::<f32>(m, k, n, seed, 0, 0, 0, 1e-5);
+    }
+
+    #[test]
+    fn syrk_matches_naive_f64(
+        m in 1usize..20, n in 1usize..32, seed in any::<u64>(), kind in 0u8..3,
+    ) {
+        check_syrk::<f64>(m, n, seed, kind, 1e-14);
+    }
+
+    #[test]
+    fn syrk_matches_naive_f32(
+        m in 1usize..20, n in 1usize..32, seed in any::<u64>(), kind in 0u8..3,
+    ) {
+        check_syrk::<f32>(m, n, seed, kind, 1e-5);
+    }
+
+    #[test]
+    fn mixed_syrk_accumulates_in_double(
+        m in 1usize..16, n in 1usize..48, seed in any::<u64>(),
+    ) {
+        // Single-precision input, f64 accumulation: each product of two f32
+        // values is exact in f64, so only the summation order separates the
+        // kernel from the oracle.
+        let a = seeded::<f32>(m, n, seed);
+        let got = syrk_lower_f64_acc(a.as_ref());
+        for i in 0..m {
+            for j in 0..=i {
+                let mut acc = 0.0f64;
+                for l in 0..n {
+                    acc += a[(i, l)] as f64 * a[(j, l)] as f64;
+                }
+                prop_assert!(
+                    (got[(i, j)] - acc).abs() <= 1e-12 * (n as f64) * acc.abs().max(1.0),
+                    "mixed syrk entry ({i},{j}) lost double accumulation"
+                );
+            }
+        }
     }
 }

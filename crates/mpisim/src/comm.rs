@@ -12,6 +12,7 @@
 use crate::error::MpiSimError;
 use crate::runtime::Ctx;
 use crate::wire::Wire;
+use std::sync::Arc;
 use tucker_linalg::Scalar;
 
 /// An ordered group of world ranks with its own tag space.
@@ -119,12 +120,34 @@ impl Comm {
 
     /// Binomial-tree broadcast from member `root`. The root passes
     /// `Some(data)`, everyone else `None`; all return the data.
-    pub fn bcast<M: Wire + Clone>(&mut self, ctx: &mut Ctx, root: usize, data: Option<M>) -> M {
+    ///
+    /// Delegates to [`Comm::bcast_shared`] (one payload allocation for the
+    /// whole tree) and unwraps at the end — callers that can hold an `Arc`
+    /// should use the shared variant directly and skip the final deep copy.
+    pub fn bcast<M: Wire + Clone + Sync>(&mut self, ctx: &mut Ctx, root: usize, data: Option<M>) -> M {
+        let shared = self.bcast_shared(ctx, root, data);
+        Arc::try_unwrap(shared).unwrap_or_else(|a| (*a).clone())
+    }
+
+    /// Zero-copy binomial-tree broadcast: every tree edge forwards a
+    /// reference-count bump of one shared allocation instead of a deep copy.
+    /// The modeled cost is identical to a copying broadcast (each edge still
+    /// charges `α + β·bytes` for the payload's full wire size); only the
+    /// local memcpys are elided. Injected in-transit corruption clones the
+    /// payload before flipping ([`std::sync::Arc::make_mut`] in the `Wire`
+    /// impl), so it reaches exactly the subtree fed by the corrupted edge and
+    /// never the sender's or any sibling's view.
+    pub fn bcast_shared<M: Wire + Clone + Sync>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        data: Option<M>,
+    ) -> Arc<M> {
         let base =
             self.next_op_hooked(ctx, || format!("bcast<{}>(root={root})", std::any::type_name::<M>()));
         let size = self.size();
         let rr = (self.my_idx + size - root) % size;
-        let mut buf = data;
+        let mut buf = data.map(Arc::new);
         let mut mask = 1usize;
         while mask < size {
             if rr & mask != 0 {
@@ -143,7 +166,7 @@ impl Comm {
         while mask > 0 {
             if rr & (mask - 1) == 0 && rr + mask < size {
                 let dst = (rr + mask + root) % size;
-                self.send_sub(ctx, base, 0, dst, payload.clone());
+                self.send_sub(ctx, base, 0, dst, Arc::clone(&payload));
             }
             mask >>= 1;
         }
@@ -203,27 +226,42 @@ impl Comm {
         self.bcast(ctx, 0, reduced)
     }
 
-    /// Gather every member's message to everyone (gather-to-0 + bcast).
-    pub fn allgather<M: Wire + Clone>(&mut self, ctx: &mut Ctx, msg: M) -> Vec<M> {
+    /// Gather every member's message to everyone. Delegates to the ring
+    /// [`Comm::allgather_shared`] and deep-copies the blocks out at the end;
+    /// callers that can hold `Arc`s should use the shared variant.
+    pub fn allgather<M: Wire + Clone + Sync>(&mut self, ctx: &mut Ctx, msg: M) -> Vec<M> {
+        self.allgather_shared(ctx, msg)
+            .into_iter()
+            .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+            .collect()
+    }
+
+    /// Zero-copy ring allgather: at step `s` every member forwards to its
+    /// right neighbour the block it received `s` steps ago (starting with
+    /// its own), as a reference-count bump of the originator's allocation.
+    /// Each member sends and receives exactly `P − 1` blocks, so with
+    /// equal-size blocks and members entering in lockstep every rank
+    /// completes in `(P−1)·(α + β·bytes)` — the
+    /// [`crate::CostModel::allgather_ring`] prediction, and a `P/2·log₂P`-ish
+    /// improvement over the previous gather-to-root-then-fan-out schedule
+    /// whose root serialized `P·(P−1)` sends. Returned blocks are indexed by
+    /// member, like the owned variant.
+    pub fn allgather_shared<M: Wire + Clone + Sync>(&mut self, ctx: &mut Ctx, msg: M) -> Vec<Arc<M>> {
         let base = self.next_op_hooked(ctx, || format!("allgather<{}>", std::any::type_name::<M>()));
         let size = self.size();
-        if self.my_idx == 0 {
-            let mut all = Vec::with_capacity(size);
-            all.push(msg);
-            for src in 1..size {
-                all.push(self.recv_sub(ctx, base, 0, src));
-            }
-            // Individual bcasts keep M: Wire without requiring Vec<M>: Wire.
-            for dst in 1..size {
-                for item in &all {
-                    self.send_sub(ctx, base, 1, dst, item.clone());
-                }
-            }
-            all
-        } else {
-            self.send_sub(ctx, base, 0, 0, msg);
-            (0..size).map(|_| self.recv_sub(ctx, base, 1, 0)).collect()
+        let me = self.my_idx;
+        let mut out: Vec<Option<Arc<M>>> = (0..size).map(|_| None).collect();
+        out[me] = Some(Arc::new(msg));
+        let right = (me + 1) % size;
+        let left = (me + size - 1) % size;
+        for s in 0..size.saturating_sub(1) {
+            let send_idx = (me + size - s) % size;
+            let block = Arc::clone(out[send_idx].as_ref().expect("ring holds block sent s steps ago"));
+            self.send_sub(ctx, base, 0, right, block);
+            let recv_idx = (me + size - s - 1) % size;
+            out[recv_idx] = Some(self.recv_sub(ctx, base, 0, left));
         }
+        out.into_iter().map(|b| b.expect("ring delivered every block")).collect()
     }
 
     /// Personalized all-to-all: `sends[j]` goes to member `j`; returns the
@@ -517,6 +555,91 @@ mod tests {
             matches!(err, crate::MpiSimError::CollectiveMismatch { .. }),
             "expected CollectiveMismatch, got {err}"
         );
+    }
+
+    #[test]
+    fn allgather_cost_matches_ring_predictor_exactly() {
+        let cost = CostModel { alpha: 1.0, beta_per_byte: 0.5, ..CostModel::zero() };
+        for p in [1, 2, 3, 5, 8] {
+            let out = Simulator::new(p).with_cost(cost).run(|ctx| {
+                let mut world = Comm::world(ctx);
+                world.allgather(ctx, vec![0.0f64; 4]); // 32 bytes per block
+                ctx.virtual_time()
+            });
+            let predicted = cost.allgather_ring(p, 32);
+            for (rank, vt) in out.results.iter().enumerate() {
+                assert_eq!(*vt, predicted, "p={p} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_collectives_are_bit_identical_to_owned() {
+        let p = 5;
+        let payload = |rank: usize| -> Vec<f64> {
+            (0..6).map(|i| ((rank * 7 + i) as f64 * 0.123).sin()).collect()
+        };
+        let owned = sim(p).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let b = world.bcast(ctx, 2, (ctx.rank() == 2).then(|| payload(2)));
+            let g = world.allgather(ctx, payload(ctx.rank()));
+            (b, g)
+        });
+        let shared = sim(p).run(|ctx| {
+            let mut world = Comm::world(ctx);
+            let b = world.bcast_shared(ctx, 2, (ctx.rank() == 2).then(|| payload(2)));
+            let g = world.allgather_shared(ctx, payload(ctx.rank()));
+            (b.to_vec(), g.iter().map(|a| a.to_vec()).collect::<Vec<_>>())
+        });
+        for ((b1, g1), (b2, g2)) in owned.results.iter().zip(&shared.results) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(b1), bits(b2));
+            for (a, b) in g1.iter().zip(g2) {
+                assert_eq!(bits(a), bits(b));
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_shared_corruption_reaches_one_edge_not_the_shared_buffer() {
+        // Binomial tree, root 0, p = 4: root's op 0 is the send to rank 2,
+        // op 1 the send to rank 1 (a leaf). Corrupt the 0→1 edge: rank 1
+        // must see the flip, while root, rank 2 and rank 3 (fed through the
+        // clean 0→2 edge) keep unharmed views of the same logical payload.
+        let out = Simulator::new(4)
+            .with_cost(CostModel::zero())
+            .with_faults(crate::FaultPlan::new().corrupt(0, 1, 0, 62))
+            .run(|ctx| {
+                let mut world = Comm::world(ctx);
+                let b = world.bcast_shared(ctx, 0, (ctx.rank() == 0).then(|| vec![1.5f64; 3]));
+                b[0]
+            });
+        assert_eq!(out.results[0], 1.5, "root's own buffer must stay clean");
+        assert!(!out.results[1].is_finite(), "corrupted edge's receiver must see the flip");
+        assert_eq!(out.results[2], 1.5);
+        assert_eq!(out.results[3], 1.5);
+    }
+
+    #[test]
+    fn allgather_shared_corruption_leaves_the_originator_intact() {
+        // Ring, p = 3: rank 0's op 0 sends its own block to rank 1, which
+        // forwards it to rank 2 — downstream views are corrupted (faithful
+        // in-transit semantics), the originator's never is.
+        let out = Simulator::new(3)
+            .with_cost(CostModel::zero())
+            .with_faults(crate::FaultPlan::new().corrupt(0, 0, 0, 62))
+            .run(|ctx| {
+                let mut world = Comm::world(ctx);
+                let g = world.allgather_shared(ctx, vec![1.5f64 + ctx.rank() as f64]);
+                g.iter().map(|b| b[0]).collect::<Vec<_>>()
+            });
+        assert_eq!(out.results[0][0], 1.5, "originator's view of its block must stay clean");
+        assert!(!out.results[1][0].is_finite());
+        assert!(!out.results[2][0].is_finite());
+        // Blocks from ranks 1 and 2 travelled clean edges everywhere.
+        for r in &out.results {
+            assert_eq!((r[1], r[2]), (2.5, 3.5));
+        }
     }
 
     #[test]

@@ -70,6 +70,23 @@ impl CostModel {
     pub fn message(&self, bytes: usize) -> f64 {
         self.alpha + self.beta_per_byte * bytes as f64
     }
+
+    /// Closed-form completion time of a `p`-member ring allgather of equal
+    /// `bytes`-sized blocks, per rank: `(p−1)·(α + β·bytes)`. In lockstep
+    /// (all members entering at the same virtual time) the simulated
+    /// [`crate::Comm::allgather`] matches this exactly — each of the `p−1`
+    /// steps advances every clock by one message cost, with no pipeline
+    /// bubbles — which `comm.rs` asserts as a test.
+    pub fn allgather_ring(&self, p: usize, bytes: usize) -> f64 {
+        p.saturating_sub(1) as f64 * self.message(bytes)
+    }
+
+    /// Completion time of a binomial-tree broadcast of `bytes` to `p`
+    /// members: `⌈log₂ p⌉` rounds, each one message deep on the critical
+    /// path.
+    pub fn bcast_tree(&self, p: usize, bytes: usize) -> f64 {
+        (usize::BITS - p.next_power_of_two().leading_zeros() - 1) as f64 * self.message(bytes)
+    }
 }
 
 impl Default for CostModel {
@@ -98,6 +115,17 @@ mod tests {
         let c1 = m.message(1_000_000);
         assert_eq!(c0, m.alpha);
         assert!((c1 - c0 - 1.0e6 * m.beta_per_byte).abs() < 1e-18);
+    }
+
+    #[test]
+    fn collective_predictors() {
+        let m = CostModel { alpha: 1.0, beta_per_byte: 0.5, ..CostModel::zero() };
+        assert_eq!(m.allgather_ring(4, 8), 3.0 * 5.0);
+        assert_eq!(m.allgather_ring(1, 8), 0.0);
+        assert_eq!(m.bcast_tree(1, 8), 0.0);
+        assert_eq!(m.bcast_tree(2, 0), 1.0);
+        assert_eq!(m.bcast_tree(4, 0), 2.0);
+        assert_eq!(m.bcast_tree(5, 0), 3.0);
     }
 
     #[test]

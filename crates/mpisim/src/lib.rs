@@ -48,7 +48,7 @@ pub use comm::Comm;
 pub use cost::CostModel;
 pub use error::{MpiSimError, SimFailure};
 pub use fault::{Fault, FaultKind, FaultPlan, MAX_SEND_RETRIES};
-pub use runtime::{Ctx, SimOutput, Simulator};
+pub use runtime::{Ctx, SimOutput, Simulator, ThreadTopology};
 pub use stats::{Breakdown, PhaseCritical, PhaseStat, RankStats};
 pub use trace::{chrome_trace_json, text_timeline, EventKind, RankTrace, TraceConfig, TraceEvent};
 pub use wire::Wire;

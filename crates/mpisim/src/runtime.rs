@@ -123,6 +123,42 @@ fn install_panic_filter() {
     });
 }
 
+/// How the machine's cores are divided among the simulated ranks' intra-rank
+/// (rayon) parallelism. Because every rank is a thread of one process, an
+/// unconstrained rayon pool would let each rank believe it owns the whole
+/// machine — `P` ranks × `C` threads of oversubscription. The topology is
+/// applied at the top of every rank thread via the thread-local
+/// `rayon::set_current_thread_limit`, so it composes with (and is overridden
+/// by) nothing else in the process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThreadTopology {
+    /// No limit: every rank may use the full pool (the historical behavior;
+    /// fine for correctness runs where kernels are below their parallel
+    /// thresholds).
+    #[default]
+    Shared,
+    /// Partition the available cores evenly: each rank gets
+    /// `max(1, cores / P)` threads — the "one rank per node slice" layout a
+    /// real MPI+OpenMP job uses.
+    Partitioned,
+    /// Exactly this many threads per rank.
+    PerRank(usize),
+}
+
+impl ThreadTopology {
+    /// The per-rank thread limit this topology implies on a machine with
+    /// rayon's current thread count, for `p` ranks.
+    pub fn threads_per_rank(self, p: usize) -> Option<usize> {
+        match self {
+            ThreadTopology::Shared => None,
+            ThreadTopology::Partitioned => {
+                Some((rayon::current_num_threads() / p.max(1)).max(1))
+            }
+            ThreadTopology::PerRank(n) => Some(n.max(1)),
+        }
+    }
+}
+
 /// Simulated machine: `p` SPMD ranks with a shared cost model.
 pub struct Simulator {
     p: usize,
@@ -130,6 +166,7 @@ pub struct Simulator {
     trace: Option<TraceConfig>,
     watchdog: Option<Duration>,
     faults: Option<FaultPlan>,
+    topology: ThreadTopology,
 }
 
 /// Results of one simulated run.
@@ -163,7 +200,20 @@ impl Simulator {
     /// Simulator with `p` ranks and the default (Andes) cost model.
     pub fn new(p: usize) -> Self {
         assert!(p > 0, "need at least one rank");
-        Simulator { p, cost: CostModel::default(), trace: None, watchdog: None, faults: None }
+        Simulator {
+            p,
+            cost: CostModel::default(),
+            trace: None,
+            watchdog: None,
+            faults: None,
+            topology: ThreadTopology::default(),
+        }
+    }
+
+    /// Set how cores are divided among the ranks' intra-rank parallelism.
+    pub fn with_threads(mut self, topology: ThreadTopology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Override the cost model.
@@ -295,7 +345,11 @@ impl Simulator {
                 let fault_shared = fault_shared.clone();
                 let my_faults =
                     self.faults.as_ref().map(|plan| plan.for_rank(rank)).unwrap_or_default();
+                let limit = self.topology.threads_per_rank(p);
                 handles.push(scope.spawn(move || {
+                    // Thread-local, so each rank thread carries its own slice
+                    // of the machine into every nested parallel kernel.
+                    rayon::set_current_thread_limit(limit);
                     let mut ctx =
                         Ctx::new(rank, p, outs, inbox, cost, shared, watchdog, my_faults, fault_shared);
                     let start = Instant::now();
@@ -841,6 +895,26 @@ mod tests {
             assert_eq!(r, i);
             assert_eq!(s, 4);
         }
+    }
+
+    #[test]
+    fn thread_topology_limits_intra_rank_parallelism() {
+        // PerRank(2): every rank sees exactly 2 rayon threads, regardless of
+        // the machine; the limit is thread-local so ranks don't interfere.
+        let out = Simulator::new(3)
+            .with_cost(CostModel::zero())
+            .with_threads(ThreadTopology::PerRank(2))
+            .run(|_| rayon::current_num_threads());
+        assert_eq!(out.results, vec![2, 2, 2]);
+        // Partitioned: cores / P, floored at 1.
+        let expect = (rayon::current_num_threads() / 3).max(1);
+        let out = Simulator::new(3)
+            .with_cost(CostModel::zero())
+            .with_threads(ThreadTopology::Partitioned)
+            .run(|_| rayon::current_num_threads());
+        assert_eq!(out.results, vec![expect; 3]);
+        // The driver thread's own limit is untouched.
+        assert_eq!(rayon::current_thread_limit(), None);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! with a well-defined on-the-wire size (which feeds the β term of the cost
 //! model).
 
+use std::sync::Arc;
 use tucker_linalg::{Matrix, Scalar};
 
 /// A message payload with a known wire size in bytes.
@@ -47,6 +48,23 @@ impl<T: Scalar> Wire for Matrix<T> {
         let i = element % data.len();
         data[i] = data[i].flip_bit(bit);
         true
+    }
+}
+
+/// Shared payload: the zero-copy path of `bcast`/`allgather`. The wire
+/// size is the payload's (the model charges every hop as if the bytes
+/// moved; only the local memcpy is elided). Corruption goes through
+/// [`Arc::make_mut`], i.e. clone-on-write: when other views of the payload
+/// exist — the normal case, since the sender still holds one — the flip
+/// lands on a private copy, so exactly the receiver of the corrupted
+/// message sees the damage and every other rank's view stays intact.
+impl<M: Wire + Clone + Sync> Wire for Arc<M> {
+    fn wire_bytes(&self) -> usize {
+        (**self).wire_bytes()
+    }
+
+    fn corrupt(&mut self, element: usize, bit: u32) -> bool {
+        Arc::make_mut(self).corrupt(element, bit)
     }
 }
 
@@ -107,6 +125,20 @@ mod tests {
         let mut m = Matrix::<f64>::zeros(2, 2);
         assert!(m.corrupt(0, 0));
         assert!(m.data()[0] != 0.0);
+    }
+
+    #[test]
+    fn corrupt_arc_copies_on_write_when_shared() {
+        let inner = vec![1.5f64, 1.25];
+        let original = Arc::new(inner);
+        let mut in_transit = Arc::clone(&original);
+        assert_eq!(in_transit.wire_bytes(), 16);
+        assert!(in_transit.corrupt(0, 62));
+        // The in-transit view is corrupted; the sender's view is untouched
+        // and the two no longer share an allocation.
+        assert!(!in_transit[0].is_finite());
+        assert_eq!(original[0], 1.5);
+        assert!(!Arc::ptr_eq(&original, &in_transit));
     }
 
     #[test]

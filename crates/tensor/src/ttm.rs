@@ -8,7 +8,7 @@
 use crate::dense::Tensor;
 use crate::dims::{prod_after, prod_before};
 use rayon::prelude::*;
-use tucker_linalg::{gemm, gemm_into, MatMut, MatRef, Scalar, Trans};
+use tucker_linalg::{gemm_into, gemm_prepacked, MatMut, MatRef, PackedA, Scalar, Trans};
 
 /// `Y = X ×_n op(U)` with `op(U) = Uᵀ` when `transpose` is set.
 ///
@@ -51,6 +51,11 @@ pub fn ttm<T: Scalar>(x: &Tensor<T>, n: usize, u: MatRef<'_, T>, transpose: bool
         // distributed tensor whose truncation rank is below the grid size).
         return Tensor::zeros(&ydims);
     }
+    // The same small factor multiplies every one of the `after` blocks: pack
+    // it once and reuse the packed panels across all of them (and across
+    // rayon tasks — the pack is read-only after construction). Bit-identical
+    // to per-block `gemm`, which packs the same values per call.
+    let packed = PackedA::new(op);
     let mut ydata = vec![T::ZERO; out_blk * after];
     ydata
         .par_chunks_mut(out_blk)
@@ -58,7 +63,7 @@ pub fn ttm<T: Scalar>(x: &Tensor<T>, n: usize, u: MatRef<'_, T>, transpose: bool
         .for_each(|(yb, xb)| {
             let xv = MatRef::row_major(xb, i_n, before);
             let mut yv = MatMut::row_major(yb, r, before);
-            gemm(T::ONE, op, xv, T::ZERO, &mut yv);
+            gemm_prepacked(T::ONE, &packed, xv, &mut yv);
         });
     Tensor::from_data(&ydims, ydata)
 }

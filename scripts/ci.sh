@@ -27,3 +27,22 @@ fi
 "$tucker" simulate --grid 2x2x2 --kind random --dims 16x16x16 \
     --ranks 4x4x4 --checkpoint-dir "$ckpt" --resume
 echo "chaos smoke: crash -> resume cycle OK"
+
+# Bench smoke: the kernel benchmark must run, emit schema-valid records,
+# and never report NaN/zero throughput (the binary exits non-zero on a
+# degenerate reading; the schema is checked here).
+bench_json="$ckpt/bench_smoke.json"
+target/release/bench kernels --quick --out "$bench_json"
+python3 - "$bench_json" <<'PY'
+import json, math, sys
+recs = json.load(open(sys.argv[1]))
+assert isinstance(recs, list) and recs, "no benchmark records"
+for r in recs:
+    assert set(r) >= {"bench", "shape", "precision"}, f"missing keys: {r}"
+    assert r["precision"] in ("single", "double"), f"bad precision: {r}"
+    metric = [k for k in r if k in ("gflops", "ms")]
+    assert len(metric) == 1, f"want exactly one of gflops|ms: {r}"
+    v = r[metric[0]]
+    assert isinstance(v, (int, float)) and math.isfinite(v) and v > 0, f"degenerate reading: {r}"
+print(f"bench smoke: {len(recs)} schema-valid records OK")
+PY

@@ -167,6 +167,54 @@ proptest! {
     }
 }
 
+fn bits_of(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PR3 zero-copy collectives: for any communicator size, payload length
+    /// and root, the `Arc`-shared `bcast_shared`/`allgather_shared` must
+    /// deliver bit-identical values to the owned (cloning) entry points and
+    /// to the independently reconstructed ground truth — sharing the
+    /// sender's allocation must be unobservable in the data.
+    #[test]
+    fn zero_copy_collectives_match_cloning_path(
+        p in 1usize..9,
+        len in 1usize..17,
+        root_sel in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let root = root_sel % p;
+        let payload = |rank: usize| -> Vec<f64> {
+            (0..len).map(|i| tucker_rs::data::hash_noise(seed, rank * len + i + 1)).collect()
+        };
+        let out = Simulator::new(p).with_cost(CostModel::zero()).run(|ctx| {
+            let me = ctx.rank();
+            let mine = payload(me);
+            let mut world = Comm::world(ctx);
+            let owned_b = world.bcast(ctx, root, (me == root).then(|| mine.clone()));
+            let shared_b = world.bcast_shared(ctx, root, (me == root).then(|| mine.clone()));
+            let owned_g = world.allgather(ctx, mine.clone());
+            let shared_g = world.allgather_shared(ctx, mine);
+            (owned_b, shared_b, owned_g, shared_g)
+        });
+        let want_root = bits_of(&payload(root));
+        for (owned_b, shared_b, owned_g, shared_g) in out.results {
+            prop_assert_eq!(&bits_of(&owned_b), &want_root);
+            prop_assert_eq!(&bits_of(&shared_b), &want_root, "shared bcast diverged");
+            prop_assert_eq!(owned_g.len(), p);
+            prop_assert_eq!(shared_g.len(), p);
+            for (rank, (ob, sb)) in owned_g.iter().zip(&shared_g).enumerate() {
+                let want = bits_of(&payload(rank));
+                prop_assert_eq!(&bits_of(ob), &want);
+                prop_assert_eq!(&bits_of(sb), &want, "shared allgather block diverged");
+            }
+        }
+    }
+}
+
 /// Bits of a full parallel ST-HOSVD on every rank: core block, factors, and
 /// the error estimate — the "did anything change at all" fingerprint.
 fn sthosvd_bits(

@@ -12,10 +12,49 @@
 //! keeps floating-point reduction order deterministic run to run (a property
 //! the real rayon does not guarantee and this reproduction prefers).
 
-use std::sync::Mutex;
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
 
-/// Number of worker threads the `for_each` path fans out to.
+thread_local! {
+    /// Per-thread worker budget, settable by an embedding runtime (the MPI
+    /// simulator partitions cores across its rank threads through this).
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `RAYON_NUM_THREADS`, parsed once (mirrors the real rayon's global-pool
+/// sizing env var). `0` or unparsable values mean "no limit".
+fn env_num_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Cap the number of worker threads `for_each` fans out to *from the calling
+/// thread* (and from the workers it spawns). `None` removes the cap. Unlike
+/// real rayon's global pool this stub spawns workers per call, so the cap is
+/// thread-local: each simulated MPI rank can hold its own share of the cores.
+pub fn set_current_thread_limit(limit: Option<usize>) {
+    THREAD_LIMIT.with(|l| l.set(limit.map(|n| n.max(1))));
+}
+
+/// The thread-local worker cap, if one is set.
+pub fn current_thread_limit() -> Option<usize> {
+    THREAD_LIMIT.with(|l| l.get())
+}
+
+/// Number of worker threads the `for_each` path fans out to: the
+/// thread-local limit if set, else `RAYON_NUM_THREADS`, else all cores.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = current_thread_limit() {
+        return n;
+    }
+    if let Some(n) = env_num_threads() {
+        return n;
+    }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
@@ -60,13 +99,19 @@ impl<I: Iterator> ParIter<I> {
         }
         let queue = Mutex::new(items.into_iter());
         let (fr, qr) = (&f, &queue);
+        let limit = current_thread_limit();
         std::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(move || loop {
-                    let next = qr.lock().unwrap().next();
-                    match next {
-                        Some(item) => fr(item),
-                        None => break,
+                s.spawn(move || {
+                    // Workers inherit the spawner's budget so nested parallel
+                    // calls cannot oversubscribe a partitioned rank.
+                    set_current_thread_limit(limit.map(|_| 1));
+                    loop {
+                        let next = qr.lock().unwrap().next();
+                        match next {
+                            Some(item) => fr(item),
+                            None => break,
+                        }
                     }
                 });
             }
@@ -203,5 +248,15 @@ mod tests {
     fn step_by_strides() {
         let starts: Vec<usize> = (0..10).into_par_iter().step_by(3).collect();
         assert_eq!(starts, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn thread_limit_is_thread_local() {
+        crate::set_current_thread_limit(Some(2));
+        assert_eq!(crate::current_num_threads(), 2);
+        let other = std::thread::spawn(crate::current_thread_limit).join().unwrap();
+        assert_eq!(other, None);
+        crate::set_current_thread_limit(None);
+        assert!(crate::current_num_threads() >= 1);
     }
 }
