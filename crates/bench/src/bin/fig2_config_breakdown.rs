@@ -12,14 +12,14 @@
 //! * for each ordering, the fastest grid sets the first-processed mode's
 //!   grid dimension to 1 (no redistribution for the dominant LQ).
 
-use tucker_bench::{threads_from_env_args, write_csv, BenchTracer, Table};
+use tucker_bench::{threads_from_env_args, write_csv, BenchTracer, MetricsSink, Table};
 use tucker_core::model::{predict, ModelConfig};
-use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_core::{check_model, sthosvd_parallel, CheckConfig, ModeOrder, SthosvdConfig, SvdMethod};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_mpisim::{CostModel, Simulator, ThreadTopology};
 use tucker_tensor::Tensor;
 
-fn measured_sweep(tracer: &BenchTracer, topo: Option<ThreadTopology>) {
+fn measured_sweep(tracer: &BenchTracer, sink: &MetricsSink, topo: Option<ThreadTopology>) {
     let dims = [32usize, 32, 32, 32];
     let ranks = vec![3usize, 3, 3, 3];
     println!("--- measured (simulated 16 ranks): {dims:?} -> {ranks:?} ---\n");
@@ -36,7 +36,8 @@ fn measured_sweep(tracer: &BenchTracer, topo: Option<ThreadTopology>) {
             let cfg = SthosvdConfig::with_ranks(ranks.clone())
                 .method(SvdMethod::Qr)
                 .order(order.clone());
-            let mut sim = tracer.apply(Simulator::new(16).with_cost(CostModel::andes()));
+            let mut sim =
+                sink.apply(tracer.apply(Simulator::new(16).with_cost(CostModel::andes())));
             if let Some(t) = topo {
                 sim = sim.with_threads(t);
             }
@@ -58,6 +59,31 @@ fn measured_sweep(tracer: &BenchTracer, topo: Option<ThreadTopology>) {
             };
             let grid_tag: Vec<String> = grid.iter().map(|d| d.to_string()).collect();
             tracer.export(&format!("fig2_{label}_{}", grid_tag.join("x")), &out.traces);
+            if sink.enabled() {
+                // Fixed-rank run: the retained ranks are the configured ones,
+                // so the conformance check needs no output plumbing.
+                let report = check_model(
+                    &CheckConfig {
+                        dims: dims.to_vec(),
+                        ranks: ranks.clone(),
+                        grid: grid.to_vec(),
+                        order: cfg.mode_order.resolve(4),
+                        method: cfg.method,
+                        tree: cfg.tree,
+                        bytes: 8,
+                        tolerance: 0.05,
+                    },
+                    &out.stats,
+                );
+                if !report.pass {
+                    eprintln!("fig2 model check FAILED for {label} {grid:?}:\n{}", report.table());
+                }
+                sink.export(
+                    &format!("fig2_{label}_{}", grid_tag.join("x")),
+                    &out.metrics,
+                    Some(&report),
+                );
+            }
             if tracer.enabled() {
                 println!("{}", b.critical_path_report());
             }
@@ -125,6 +151,10 @@ fn modeled_sweep() {
 }
 
 fn main() {
-    measured_sweep(&BenchTracer::from_env_args(), threads_from_env_args());
+    measured_sweep(
+        &BenchTracer::from_env_args(),
+        &MetricsSink::from_env_args(),
+        threads_from_env_args(),
+    );
     modeled_sweep();
 }

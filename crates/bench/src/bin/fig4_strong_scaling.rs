@@ -14,15 +14,16 @@
 //! QR single consistently ~30% faster than Gram double (up to 2x).
 
 use tucker_bench::grids::{strong_scaling_grids, table1_grid};
-use tucker_bench::{threads_from_env_args, write_csv, BenchTracer, Table};
+use tucker_bench::{threads_from_env_args, write_csv, BenchTracer, MetricsSink, Table};
 use tucker_core::model::{predict, ModelConfig};
-use tucker_core::{sthosvd_parallel, ModeOrder, SthosvdConfig, SvdMethod};
+use tucker_core::{check_model, sthosvd_parallel, CheckConfig, ModeOrder, SthosvdConfig, SvdMethod};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
 use tucker_linalg::Scalar;
 use tucker_mpisim::{CostModel, Simulator, ThreadTopology};
 
 fn measured<T: Scalar>(
     tracer: &BenchTracer,
+    sink: &MetricsSink,
     topo: Option<ThreadTopology>,
     p: usize,
     method: SvdMethod,
@@ -35,8 +36,8 @@ fn measured<T: Scalar>(
         SvdMethod::Gram => (gram_grid, ModeOrder::Forward, "gram"),
         _ => (qr_grid, ModeOrder::Backward, "qr"),
     };
-    let cfg = SthosvdConfig::with_ranks(ranks).method(method).order(order);
-    let mut sim = tracer.apply(Simulator::new(p).with_cost(CostModel::andes()));
+    let cfg = SthosvdConfig::with_ranks(ranks.clone()).method(method).order(order);
+    let mut sim = sink.apply(tracer.apply(Simulator::new(p).with_cost(CostModel::andes())));
     if let Some(t) = topo {
         sim = sim.with_threads(t);
     }
@@ -47,20 +48,41 @@ fn measured<T: Scalar>(
         });
         sthosvd_parallel(ctx, &dt, &cfg).unwrap();
     });
-    tracer.export(&format!("fig4_{tag}_b{}_p{p}", T::BYTES), &out.traces);
+    let label = format!("fig4_{tag}_b{}_p{p}", T::BYTES);
+    tracer.export(&label, &out.traces);
+    if sink.enabled() {
+        let report = check_model(
+            &CheckConfig {
+                dims: dims.to_vec(),
+                ranks,
+                grid: grid.to_vec(),
+                order: cfg.mode_order.resolve(4),
+                method: cfg.method,
+                tree: cfg.tree,
+                bytes: T::BYTES,
+                tolerance: 0.05,
+            },
+            &out.stats,
+        );
+        if !report.pass {
+            eprintln!("fig4 model check FAILED for {label}:\n{}", report.table());
+        }
+        sink.export(&label, &out.metrics, Some(&report));
+    }
     out.breakdown().modeled_time
 }
 
 fn main() {
     let tracer = BenchTracer::from_env_args();
+    let sink = MetricsSink::from_env_args();
     let topo = threads_from_env_args();
     println!("--- measured (simulated ranks): 32^4 -> 4^4, 1..16 ranks ---\n");
     let mut table = Table::new(&["ranks", "Gram single", "QR single", "Gram double", "QR double"]);
     for p in [1usize, 2, 4, 8, 16] {
-        let gs = measured::<f32>(&tracer, topo, p, SvdMethod::Gram);
-        let qs = measured::<f32>(&tracer, topo, p, SvdMethod::Qr);
-        let gd = measured::<f64>(&tracer, topo, p, SvdMethod::Gram);
-        let qd = measured::<f64>(&tracer, topo, p, SvdMethod::Qr);
+        let gs = measured::<f32>(&tracer, &sink, topo, p, SvdMethod::Gram);
+        let qs = measured::<f32>(&tracer, &sink, topo, p, SvdMethod::Qr);
+        let gd = measured::<f64>(&tracer, &sink, topo, p, SvdMethod::Gram);
+        let qd = measured::<f64>(&tracer, &sink, topo, p, SvdMethod::Qr);
         println!("P={p:3}:  Gram-s {gs:.4}s  QR-s {qs:.4}s  Gram-d {gd:.4}s  QR-d {qd:.4}s");
         table.row(vec![
             p.to_string(),

@@ -6,12 +6,14 @@
 //! MPI machine, and plain-text/CSV reporting into `results/`.
 
 pub mod grids;
+pub mod metrics;
 pub mod report;
 pub mod threads;
 pub mod tracing;
 pub mod variants;
 
 pub use grids::{balanced_grid, strong_scaling_grids, table1_grid};
+pub use metrics::MetricsSink;
 pub use report::{write_csv, Table};
 pub use threads::threads_from_env_args;
 pub use tracing::BenchTracer;

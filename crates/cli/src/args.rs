@@ -15,7 +15,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["f32", "help", "resume", "validate"];
+const BARE_FLAGS: &[&str] = &["f32", "help", "model-check", "resume", "validate"];
 
 /// Parse a token stream (without the program name).
 pub fn parse(tokens: &[String]) -> Result<Args, String> {

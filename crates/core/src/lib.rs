@@ -23,6 +23,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod conformance;
 pub mod hosvd;
 pub mod model;
 pub mod order;
@@ -35,6 +36,7 @@ pub mod tucker_io;
 
 pub use checkpoint::{sthosvd_parallel_checkpointed, CheckpointError, CheckpointOptions};
 pub use config::{ModeOrder, SthosvdConfig, SvdMethod, Truncation};
+pub use conformance::{check_model, CheckConfig, ModeCheck, ModelCheckReport};
 pub use parallel::{hosvd_finish, hosvd_init, hosvd_step, sthosvd_parallel, HosvdState, ParallelOutput};
 pub use sthosvd::{sthosvd, sthosvd_with_info, SthosvdOutput};
 pub use hosvd::hosvd;

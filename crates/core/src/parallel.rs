@@ -153,6 +153,11 @@ pub fn hosvd_init<T: Scalar>(
 ) -> HosvdState<T> {
     let nmodes = x.global_dims().len();
     let order = cfg.mode_order.resolve(nmodes);
+    if ctx.metrics_enabled() {
+        // Arm the thread-local kernel collector of tucker-linalg; every
+        // hosvd_step drains it into this rank's metrics registry.
+        tucker_linalg::perf::enable();
+    }
     let norm_x = x.norm(ctx, world);
     let threshold = match &cfg.truncation {
         Truncation::Tolerance(eps) => mode_threshold(*eps, norm_x, nmodes),
@@ -179,6 +184,11 @@ pub fn hosvd_step<T: Scalar>(
     cfg: &SthosvdConfig,
 ) -> Result<()> {
     assert!(!state.is_complete(), "hosvd_step called on a finished state");
+    if ctx.metrics_enabled() && !tucker_linalg::perf::is_enabled() {
+        // A resumed (checkpointed) run enters here without passing through
+        // `hosvd_init`; arm the kernel collector before any local kernels.
+        tucker_linalg::perf::enable();
+    }
     let n = state.order[state.done];
     let y = &state.y;
     let m = y.global_dims()[n];
@@ -240,6 +250,33 @@ pub fn hosvd_step<T: Scalar>(
         .phase("TTM", |c| c.phase(&format!("TTM#{n}"), |c2| parallel_ttm(c2, y, n, &u_n)))?;
     state.y = truncated;
     state.tails_sq.push(tail);
+    let norm_x = state.norm_x;
+    if let Some(reg) = ctx.metrics_mut() {
+        // Per-mode SVD quality: what was kept, what it cost in accuracy, and
+        // how close the smallest retained singular value sits to the
+        // ε·‖X‖ noise floor that separates Gram-SVD from QR-SVD (paper §2.3).
+        reg.gauge_set(&format!("sthosvd/mode{n}/retained_rank"), r_n as f64);
+        let trunc_err = (tail.max(T::ZERO).sqrt() / norm_x).to_f64();
+        reg.gauge_set(&format!("sthosvd/mode{n}/truncation_error"), trunc_err);
+        if r_n > 0 {
+            let sigma_min = sigma[r_n - 1].to_f64();
+            reg.gauge_set(&format!("sthosvd/mode{n}/sigma_min"), sigma_min);
+            let floor = (T::EPSILON * norm_x).to_f64();
+            reg.gauge_set(&format!("sthosvd/mode{n}/sigma_floor_rel"), sigma_min / floor);
+        }
+        // Fold this step's local-kernel totals into the registry and re-arm
+        // the collector for the next step (also self-arms a resumed run
+        // whose `hosvd_init` happened in a previous process).
+        if let Some(kernels) = tucker_linalg::perf::drain() {
+            for (site, ks) in kernels {
+                reg.counter_add(&format!("kernel/{site}/calls"), ks.calls);
+                reg.counter_add(&format!("kernel/{site}/flops"), ks.flops);
+                reg.counter_add(&format!("kernel/{site}/pack_bytes"), ks.pack_bytes);
+                *reg.wall_secs.entry(format!("kernel/{site}")).or_insert(0.0) += ks.secs;
+            }
+        }
+        tucker_linalg::perf::enable();
+    }
     state.factors[n] = Some(u_n);
     state.singular_values[n] = sigma;
     state.done += 1;

@@ -26,6 +26,13 @@ pub const DEFAULT_BLOCK: usize = 32;
 /// [`crate::qr::geqrf`] (R in the upper triangle, reflector tails below,
 /// `tau`s returned); trailing updates are performed as GEMMs.
 pub fn geqrf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
+    let (m, n) = (a.rows(), a.cols());
+    crate::perf::with_kernel("qr", crate::perf::qr_flops(m, n), 0, || geqrf_blocked_impl(a, nb))
+}
+
+/// Body of [`geqrf_blocked`], split out of the perf-collector frame; the
+/// panel `geqrf`s and trailing-update GEMMs inside are depth-guarded.
+fn geqrf_blocked_impl<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
     let m = a.rows();
     let n = a.cols();
     let k = m.min(n);
@@ -79,8 +86,11 @@ pub fn geqrf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
 
 /// Blocked in-place Householder LQ (blocked QR of the transposed view).
 pub fn gelqf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
-    let mut at = a.t_mut();
-    geqrf_blocked(&mut at, nb)
+    let flops = crate::perf::qr_flops(a.cols(), a.rows());
+    crate::perf::with_kernel("lq", flops, 0, || {
+        let mut at = a.t_mut();
+        geqrf_blocked(&mut at, nb)
+    })
 }
 
 /// Form the upper-triangular `T` of the compact WY representation

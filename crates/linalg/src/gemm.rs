@@ -78,8 +78,14 @@ pub fn gemm<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T, c:
     let n = b.cols();
     assert_eq!(b.rows(), k, "gemm: inner dimension mismatch");
     assert_eq!((c.rows(), c.cols()), (m, n), "gemm: output shape mismatch");
-    scale_c(beta, c);
-    kernel::gemm_blocked(alpha, a, b, c);
+    let flops = 2u64
+        .saturating_mul(m as u64)
+        .saturating_mul(k as u64)
+        .saturating_mul(n as u64);
+    crate::perf::with_kernel("gemm", flops, crate::perf::gemm_pack_bytes::<T>(m, k, n), || {
+        scale_c(beta, c);
+        kernel::gemm_blocked(alpha, a, b, c);
+    });
 }
 
 /// Cache block sizes of the reference kernel.
@@ -204,16 +210,20 @@ pub fn gemm_into<T: Scalar>(a: MatRef<'_, T>, ta: Trans, b: MatRef<'_, T>, tb: T
     let b = tb.apply(b);
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     assert_eq!(b.rows(), k, "gemm_into: inner dimension mismatch");
-    let mut c = Matrix::<T>::zeros(m, n);
     let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
-    let threads = rayon::current_num_threads();
-    if flops < PAR_FLOP_THRESHOLD || threads <= 1 || m == 0 || n == 0 || k == 0 {
-        let mut cm = c.as_mut();
-        gemm(T::ONE, a, b, T::ZERO, &mut cm);
-        return c;
-    }
-    gemm_into_tiled(a, b, &mut c, threads * 2);
-    c
+    // The serial path's nested `gemm` and the rayon-worker tile calls are
+    // both guarded; this outermost frame records the logical multiply once.
+    crate::perf::with_kernel("gemm", flops as u64, crate::perf::gemm_pack_bytes::<T>(m, k, n), || {
+        let mut c = Matrix::<T>::zeros(m, n);
+        let threads = rayon::current_num_threads();
+        if flops < PAR_FLOP_THRESHOLD || threads <= 1 || m == 0 || n == 0 || k == 0 {
+            let mut cm = c.as_mut();
+            gemm(T::ONE, a, b, T::ZERO, &mut cm);
+            return c;
+        }
+        gemm_into_tiled(a, b, &mut c, threads * 2);
+        c
+    })
 }
 
 /// Compute `C = A·B` over a 2D tile grid with roughly `tasks` tiles.

@@ -48,6 +48,7 @@ pub mod eig;
 pub mod gram_svd;
 pub mod mixed;
 pub mod qr_svd;
+pub mod perf;
 pub mod random;
 pub mod randomized;
 
@@ -63,6 +64,7 @@ pub use svd::{svd_left, SvdOutput};
 pub use eig::{syev, EigOutput};
 pub use gram_svd::gram_svd;
 pub use mixed::{gram_svd_mixed, syrk_lower_f64_acc};
+pub use perf::KernelStat;
 pub use qr_svd::qr_svd;
 pub use random::{matrix_with_singular_values, random_matrix, random_orthogonal};
 pub use randomized::{randomized_svd_left, RandomizedSvdConfig};

@@ -15,8 +15,13 @@ use crate::view::{MatMut, MatRef};
 /// In-place Householder LQ: on return the lower triangle of `a` holds `L` and
 /// the strict upper triangle holds reflector tails. Returns the `tau`s.
 pub fn gelqf<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
-    let mut at = a.t_mut();
-    geqrf(&mut at)
+    // LQ of m x n == QR of the transposed n x m view; the nested geqrf's
+    // perf frame is depth-guarded, so the call is attributed to "lq" only.
+    let flops = crate::perf::qr_flops(a.cols(), a.rows());
+    crate::perf::with_kernel("lq", flops, 0, || {
+        let mut at = a.t_mut();
+        geqrf(&mut at)
+    })
 }
 
 /// Extract `L` (`m x min(m,n)`, lower triangular/trapezoidal) from a factored

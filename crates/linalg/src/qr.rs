@@ -18,6 +18,13 @@ use crate::view::{MatMut, MatRef};
 pub fn geqrf<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
     let m = a.rows();
     let n = a.cols();
+    crate::perf::with_kernel("qr", crate::perf::qr_flops(m, n), 0, || geqrf_impl(a))
+}
+
+/// Body of [`geqrf`], split out of the perf-collector frame.
+fn geqrf_impl<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
+    let m = a.rows();
+    let n = a.cols();
     let k = m.min(n);
     let mut taus = vec![T::ZERO; k];
     let mut v = vec![T::ZERO; m];

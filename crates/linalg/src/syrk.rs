@@ -33,15 +33,18 @@ const PAR_FLOP_THRESHOLD: usize = 1 << 22;
 pub fn syrk_lower<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
     let m = a.rows();
     let n = a.cols();
-    let mut c = Matrix::zeros(m, m);
     let flops = m.saturating_mul(m).saturating_mul(n);
-    if flops >= PAR_FLOP_THRESHOLD && rayon::current_num_threads() > 1 && m > SB {
-        syrk_parallel(a, &mut c);
-    } else {
-        syrk_lower_acc(a, &mut c.as_mut());
-    }
-    mirror_lower(&mut c);
-    c
+    let pack = crate::perf::gemm_pack_bytes::<T>(SB.min(m), n, SB.min(m));
+    crate::perf::with_kernel("syrk", flops as u64, pack, || {
+        let mut c = Matrix::zeros(m, m);
+        if flops >= PAR_FLOP_THRESHOLD && rayon::current_num_threads() > 1 && m > SB {
+            syrk_parallel(a, &mut c);
+        } else {
+            syrk_lower_acc(a, &mut c.as_mut());
+        }
+        mirror_lower(&mut c);
+        c
+    })
 }
 
 /// `C += A·Aᵀ` on the block-lower triangle of C only (serial). The strict

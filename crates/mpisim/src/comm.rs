@@ -113,9 +113,12 @@ impl Comm {
     /// Simultaneous exchange with a partner (MPI_Sendrecv): sends `msg`,
     /// returns the partner's message.
     pub fn sendrecv<M: Wire>(&mut self, ctx: &mut Ctx, partner: usize, msg: M) -> M {
+        let tok = ctx.meter_begin("sendrecv");
         let base = self.next_op_hooked(ctx, || format!("sendrecv<{}>", std::any::type_name::<M>()));
         self.send_sub(ctx, base, 0, partner, msg);
-        self.recv_sub(ctx, base, 0, partner)
+        let out = self.recv_sub(ctx, base, 0, partner);
+        ctx.meter_end("sendrecv", tok);
+        out
     }
 
     /// Binomial-tree broadcast from member `root`. The root passes
@@ -143,6 +146,7 @@ impl Comm {
         root: usize,
         data: Option<M>,
     ) -> Arc<M> {
+        let tok = ctx.meter_begin("bcast");
         let base =
             self.next_op_hooked(ctx, || format!("bcast<{}>(root={root})", std::any::type_name::<M>()));
         let size = self.size();
@@ -170,12 +174,27 @@ impl Comm {
             }
             mask >>= 1;
         }
+        ctx.meter_end("bcast", tok);
         payload
     }
 
     /// Binomial-tree element-wise sum reduction to member `root`.
     /// Returns `Some(total)` at the root, `None` elsewhere.
     pub fn reduce_sum_vec<T: Scalar>(
+        &mut self,
+        ctx: &mut Ctx,
+        root: usize,
+        data: Vec<T>,
+    ) -> Option<Vec<T>> {
+        let tok = ctx.meter_begin("reduce");
+        let out = self.reduce_sum_vec_impl(ctx, root, data);
+        ctx.meter_end("reduce", tok);
+        out
+    }
+
+    /// Body of [`Comm::reduce_sum_vec`], split out so the early return on
+    /// non-root ranks still passes through the metering epilogue.
+    fn reduce_sum_vec_impl<T: Scalar>(
         &mut self,
         ctx: &mut Ctx,
         root: usize,
@@ -222,8 +241,13 @@ impl Comm {
 
     /// All-reduce (sum): reduce to member 0, then broadcast.
     pub fn allreduce_sum_vec<T: Scalar>(&mut self, ctx: &mut Ctx, data: Vec<T>) -> Vec<T> {
+        // Outermost meter wins: the nested reduce and bcast traffic is all
+        // attributed to `comm/allreduce/…`.
+        let tok = ctx.meter_begin("allreduce");
         let reduced = self.reduce_sum_vec(ctx, 0, data);
-        self.bcast(ctx, 0, reduced)
+        let out = self.bcast(ctx, 0, reduced);
+        ctx.meter_end("allreduce", tok);
+        out
     }
 
     /// Gather every member's message to everyone. Delegates to the ring
@@ -247,6 +271,7 @@ impl Comm {
     /// whose root serialized `P·(P−1)` sends. Returned blocks are indexed by
     /// member, like the owned variant.
     pub fn allgather_shared<M: Wire + Clone + Sync>(&mut self, ctx: &mut Ctx, msg: M) -> Vec<Arc<M>> {
+        let tok = ctx.meter_begin("allgather");
         let base = self.next_op_hooked(ctx, || format!("allgather<{}>", std::any::type_name::<M>()));
         let size = self.size();
         let me = self.my_idx;
@@ -261,6 +286,7 @@ impl Comm {
             let recv_idx = (me + size - s - 1) % size;
             out[recv_idx] = Some(self.recv_sub(ctx, base, 0, left));
         }
+        ctx.meter_end("allgather", tok);
         out.into_iter().map(|b| b.expect("ring delivered every block")).collect()
     }
 
@@ -269,6 +295,7 @@ impl Comm {
     /// redistribution algorithm (`P − 1` messages per rank).
     pub fn alltoallv<T: Scalar>(&mut self, ctx: &mut Ctx, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(sends.len(), self.size(), "alltoallv: one bucket per member");
+        let tok = ctx.meter_begin("alltoallv");
         let base = self.next_op_hooked(ctx, || format!("alltoallv<{}>", std::any::type_name::<T>()));
         let size = self.size();
         let me = self.my_idx;
@@ -283,6 +310,7 @@ impl Comm {
             let src = (me + size - step) % size;
             out[src] = self.recv_sub(ctx, base, 0, src);
         }
+        ctx.meter_end("alltoallv", tok);
         out
     }
 
@@ -290,6 +318,7 @@ impl Comm {
     /// over all ranks lands on member `j`. Implemented as pairwise exchange
     /// (all-to-all) plus local summation.
     pub fn reduce_scatter_vec<T: Scalar>(&mut self, ctx: &mut Ctx, chunks: Vec<Vec<T>>) -> Vec<T> {
+        let tok = ctx.meter_begin("reduce_scatter");
         let received = self.alltoallv(ctx, chunks);
         let mut acc = Vec::new();
         for (i, chunk) in received.into_iter().enumerate() {
@@ -310,11 +339,13 @@ impl Comm {
                 }
             }
         }
+        ctx.meter_end("reduce_scatter", tok);
         acc
     }
 
     /// Barrier (dissemination algorithm).
     pub fn barrier(&mut self, ctx: &mut Ctx) {
+        let tok = ctx.meter_begin("barrier");
         let size = self.size();
         let mut k = 1usize;
         while k < size {
@@ -325,6 +356,7 @@ impl Comm {
             let _: () = self.recv_sub(ctx, base, 0, src);
             k <<= 1;
         }
+        ctx.meter_end("barrier", tok);
     }
 }
 

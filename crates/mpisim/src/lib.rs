@@ -39,6 +39,7 @@ pub mod comm;
 pub mod cost;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 pub mod runtime;
 pub mod stats;
 pub mod trace;
@@ -48,6 +49,7 @@ pub use comm::Comm;
 pub use cost::CostModel;
 pub use error::{MpiSimError, SimFailure};
 pub use fault::{Fault, FaultKind, FaultPlan, MAX_SEND_RETRIES};
+pub use metrics::{Histogram, MetricsRegistry};
 pub use runtime::{Ctx, SimOutput, Simulator, ThreadTopology};
 pub use stats::{Breakdown, PhaseCritical, PhaseStat, RankStats};
 pub use trace::{chrome_trace_json, text_timeline, EventKind, RankTrace, TraceConfig, TraceEvent};

@@ -22,6 +22,7 @@
 use crate::cost::CostModel;
 use crate::error::{MpiSimError, SimFailure};
 use crate::fault::{FaultKind, FaultPlan, MAX_SEND_RETRIES};
+use crate::metrics::MetricsRegistry;
 use crate::stats::{PhaseStat, RankStats};
 use crate::trace::{EventKind, RankTrace, TraceBuffer, TraceConfig};
 use crate::wire::Wire;
@@ -167,6 +168,7 @@ pub struct Simulator {
     watchdog: Option<Duration>,
     faults: Option<FaultPlan>,
     topology: ThreadTopology,
+    metrics: bool,
 }
 
 /// Results of one simulated run.
@@ -179,6 +181,9 @@ pub struct SimOutput<R> {
     /// Per-rank event traces; empty unless the simulator was built with
     /// [`Simulator::with_trace`].
     pub traces: Vec<RankTrace>,
+    /// Per-rank metrics registries, indexed by rank; empty unless the
+    /// simulator was built with [`Simulator::with_metrics`].
+    pub metrics: Vec<MetricsRegistry>,
 }
 
 impl<R> SimOutput<R> {
@@ -207,7 +212,17 @@ impl Simulator {
             watchdog: None,
             faults: None,
             topology: ThreadTopology::default(),
+            metrics: false,
         }
+    }
+
+    /// Enable the per-rank metrics registries (counters, gauges, log₂
+    /// histograms; see [`crate::metrics`]). Without this call every metrics
+    /// hook costs a single `Option` check and the run is bit-identical to a
+    /// metrics-free build.
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
     }
 
     /// Set how cores are divided among the ranks' intra-rank parallelism.
@@ -334,7 +349,9 @@ impl Simulator {
             .or(self.trace.as_ref().and_then(|t| t.watchdog))
             .map(|d| d + self.faults.as_ref().map(FaultPlan::total_wall_delay).unwrap_or_default());
         let fref = &f;
-        let mut outputs: Vec<Option<(Exit<R, E>, RankStats)>> = (0..p).map(|_| None).collect();
+        let metrics_on = self.metrics;
+        type RankExit<R, E> = (Exit<R, E>, RankStats, Option<MetricsRegistry>);
+        let mut outputs: Vec<Option<RankExit<R, E>>> = (0..p).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             // Move each sender row into its thread: when a rank finishes (or
@@ -350,13 +367,28 @@ impl Simulator {
                     // Thread-local, so each rank thread carries its own slice
                     // of the machine into every nested parallel kernel.
                     rayon::set_current_thread_limit(limit);
-                    let mut ctx =
-                        Ctx::new(rank, p, outs, inbox, cost, shared, watchdog, my_faults, fault_shared);
+                    let mut ctx = Ctx::new(
+                        rank,
+                        p,
+                        outs,
+                        inbox,
+                        cost,
+                        shared,
+                        watchdog,
+                        my_faults,
+                        fault_shared,
+                        metrics_on,
+                    );
                     let start = Instant::now();
                     let res = catch_unwind(AssertUnwindSafe(|| fref(&mut ctx)));
                     ctx.stats.total.wall = start.elapsed().as_secs_f64();
                     ctx.stats.modeled_time = ctx.vt;
                     ctx.stats.total.modeled = ctx.vt;
+                    let metrics = ctx.metrics.take().map(|mut ms| {
+                        ms.registry
+                            .counter_max("mem/peak_live_payload_bytes", ms.peak_payload_bytes);
+                        ms.registry
+                    });
                     let exit = match res {
                         Ok(Ok(r)) => Exit::Done(r),
                         Ok(Err(e)) => Exit::User(e),
@@ -365,7 +397,7 @@ impl Simulator {
                             Err(payload) => Exit::Panic(payload),
                         },
                     };
-                    (exit, ctx.stats)
+                    (exit, ctx.stats, metrics)
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
@@ -377,10 +409,12 @@ impl Simulator {
 
         let mut exits = Vec::with_capacity(p);
         let mut stats = Vec::with_capacity(p);
+        let mut metrics = Vec::new();
         for o in outputs {
-            let (exit, s) = o.expect("every rank thread was joined");
+            let (exit, s, m) = o.expect("every rank thread was joined");
             exits.push(exit);
             stats.push(s);
+            metrics.extend(m);
         }
 
         // A genuine user panic (e.g. a failed test assertion inside a rank)
@@ -473,7 +507,7 @@ impl Simulator {
             return Err(SimFailure::Sim(e));
         }
         debug_assert_eq!(results.len(), p);
-        Ok(SimOutput { results, stats, traces })
+        Ok(SimOutput { results, stats, traces, metrics })
     }
 }
 
@@ -510,6 +544,40 @@ pub struct Ctx {
     my_faults: HashMap<u64, FaultKind>,
     /// Crash registry shared with peers; `Some` whenever a plan is armed.
     fault_shared: Option<Arc<FaultShared>>,
+    /// Metrics registry + attribution state; `None` when metrics are off,
+    /// which reduces every hook to a single `Option` check.
+    metrics: Option<Box<MetricsState>>,
+}
+
+/// Per-rank metrics bookkeeping, boxed behind one pointer so the disabled
+/// path stays cheap and `Ctx` stays small.
+pub(crate) struct MetricsState {
+    pub(crate) registry: MetricsRegistry,
+    /// Nesting depth of metered collectives; the outermost one owns the
+    /// attribution (an `allreduce` built from `reduce` + `bcast` is counted
+    /// as allreduce traffic, matching the paper's accounting).
+    depth: u32,
+    /// Collective kind currently charged for traffic; `"p2p"` outside any
+    /// metered collective (e.g. the butterfly TSQR's tagged exchanges).
+    kind: &'static str,
+    /// Bytes of out-of-order messages currently parked in the stash.
+    stash_bytes: u64,
+    /// High-water mark of live receive-side payload bytes: stash contents
+    /// plus the message being opened. Deterministic (a function of the
+    /// message schedule), published as `mem/peak_live_payload_bytes`.
+    peak_payload_bytes: u64,
+}
+
+impl MetricsState {
+    fn new() -> Box<Self> {
+        Box::new(MetricsState {
+            registry: MetricsRegistry::default(),
+            depth: 0,
+            kind: "p2p",
+            stash_bytes: 0,
+            peak_payload_bytes: 0,
+        })
+    }
 }
 
 impl Ctx {
@@ -524,6 +592,7 @@ impl Ctx {
         watchdog: Option<Duration>,
         my_faults: HashMap<u64, FaultKind>,
         fault_shared: Option<Arc<FaultShared>>,
+        metrics: bool,
     ) -> Self {
         Ctx {
             rank,
@@ -541,6 +610,7 @@ impl Ctx {
             op_counter: 0,
             my_faults,
             fault_shared,
+            metrics: metrics.then(MetricsState::new),
         }
     }
 
@@ -691,6 +761,68 @@ impl Ctx {
         self.record(|| EventKind::Collective { comm, op_index, op: desc });
     }
 
+    /// Whether metrics collection is enabled for this rank.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Mutable access to this rank's metrics registry when enabled. Drivers
+    /// record domain-level metrics through this (per-mode retained ranks,
+    /// drained kernel counters); the runtime records transport metrics
+    /// itself.
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut().map(|m| &mut m.registry)
+    }
+
+    /// Called by [`crate::Comm`] when a collective begins. Only the
+    /// *outermost* metered collective owns traffic attribution (so an
+    /// `allreduce` composed of `reduce` + `bcast` counts as allreduce, the
+    /// granularity the paper's model reasons at); nested calls return `None`
+    /// and merely deepen the nesting counter.
+    pub(crate) fn meter_begin(&mut self, kind: &'static str) -> Option<(f64, &'static str)> {
+        let ms = self.metrics.as_mut()?;
+        ms.depth += 1;
+        if ms.depth == 1 {
+            let prev = ms.kind;
+            ms.kind = kind;
+            Some((self.vt, prev))
+        } else {
+            None
+        }
+    }
+
+    /// Close a metered collective opened with [`Ctx::meter_begin`], charging
+    /// the virtual-clock delta (comms, waits, and in-collective reduction
+    /// flops) to `comm/<kind>/modeled_s`.
+    pub(crate) fn meter_end(&mut self, kind: &'static str, token: Option<(f64, &'static str)>) {
+        let vt = self.vt;
+        if let Some(ms) = self.metrics.as_mut() {
+            ms.depth -= 1;
+            if let Some((vt0, prev)) = token {
+                ms.kind = prev;
+                let names = crate::metrics::comm_names(kind);
+                ms.registry.counter_add(names.calls, 1);
+                ms.registry.gauge_add(names.modeled_s, vt - vt0);
+            }
+        }
+    }
+
+    /// Per-message metrics hook: one wire message of `bytes` under the
+    /// currently attributed collective kind. `modeled` is this message's
+    /// clock charge; it is only recorded for un-metered (`p2p`) traffic —
+    /// metered collectives get their time from the meter's clock delta.
+    fn metrics_send(&mut self, bytes: usize, modeled: f64) {
+        if let Some(ms) = self.metrics.as_mut() {
+            let names = crate::metrics::comm_names(ms.kind);
+            ms.registry.counter_add(names.bytes, bytes as u64);
+            ms.registry.counter_add(names.msgs, 1);
+            ms.registry.observe(names.msg_size, bytes as u64);
+            if ms.depth == 0 {
+                ms.registry.gauge_add("comm/p2p/modeled_s", modeled);
+            }
+        }
+    }
+
     /// Send `msg` to `dst` with a tag. Non-blocking; charges `α + β·bytes`
     /// to this rank's clock and stamps the message with its arrival time.
     ///
@@ -716,9 +848,11 @@ impl Ctx {
                 // fault-free run in everything but the clock.
                 let attempts = times.min(MAX_SEND_RETRIES);
                 for k in 0..attempts {
-                    self.vt += self.cost.message(bytes) + self.cost.alpha * (1u64 << k) as f64;
+                    let charge = self.cost.message(bytes) + self.cost.alpha * (1u64 << k) as f64;
+                    self.vt += charge;
                     self.stats.total.bytes_sent += bytes as u64;
                     self.stats.total.msgs += 1;
+                    self.metrics_send(bytes, charge);
                 }
                 self.record(|| EventKind::Fault {
                     desc: format!("drop x{times} -> rank {dst} tag {tag} (op {op})"),
@@ -755,9 +889,11 @@ impl Ctx {
                 });
             }
         }
-        self.vt += self.cost.message(bytes);
+        let charge = self.cost.message(bytes);
+        self.vt += charge;
         self.stats.total.bytes_sent += bytes as u64;
         self.stats.total.msgs += 1;
+        self.metrics_send(bytes, charge);
         self.record(|| EventKind::Send { dst, tag, bytes });
         // A closed channel means the peer already failed; report the
         // disconnect (or, if the crash registry knows better, the peer's
@@ -791,12 +927,19 @@ impl Ctx {
         // Check stashed out-of-order messages first.
         if let Some(pos) = self.stash[src].iter().position(|m| m.tag == tag) {
             let m = self.stash[src].remove(pos).expect("stash position just found");
+            if let Some(ms) = self.metrics.as_mut() {
+                ms.stash_bytes -= m.bytes as u64;
+            }
             return self.open::<M>(m);
         }
         loop {
             let m = self.wait_from(src, tag);
             if m.tag == tag {
                 return self.open::<M>(m);
+            }
+            if let Some(ms) = self.metrics.as_mut() {
+                ms.stash_bytes += m.bytes as u64;
+                ms.peak_payload_bytes = ms.peak_payload_bytes.max(ms.stash_bytes);
             }
             self.stash[src].push_back(m);
         }
@@ -834,6 +977,9 @@ impl Ctx {
 
     fn open<M: Wire>(&mut self, m: Message) -> M {
         self.vt = self.vt.max(m.arrival_vt);
+        if let Some(ms) = self.metrics.as_mut() {
+            ms.peak_payload_bytes = ms.peak_payload_bytes.max(ms.stash_bytes + m.bytes as u64);
+        }
         self.record(|| EventKind::Recv { src: m.src, tag: m.tag, bytes: m.bytes });
         match m.payload.downcast::<M>() {
             Ok(payload) => *payload,

@@ -5,7 +5,7 @@
 //! [`Breakdown`] reproduces that aggregation over the per-rank
 //! [`RankStats`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Accumulated costs of one named phase on one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -42,21 +42,28 @@ pub struct RankStats {
     pub total: PhaseStat,
     /// Named-phase totals, in first-use order.
     pub phases: Vec<(String, PhaseStat)>,
+    /// Phase name → index into `phases`. An ST-HOSVD run accumulates into
+    /// per-mode labels ("Gram#2", "TTM/reduce_scatter", …) thousands of
+    /// times; this map keeps `accumulate` O(1) instead of scanning `phases`
+    /// on every call. Iteration order is never taken from the map, so the
+    /// `Breakdown` report still sees first-use ordering.
+    index: HashMap<String, usize>,
 }
 
 impl RankStats {
     /// Accumulate `delta` into the named phase (creating it on first use).
     pub fn accumulate(&mut self, name: &str, delta: PhaseStat) {
-        if let Some((_, p)) = self.phases.iter_mut().find(|(n, _)| n == name) {
-            p.add(&delta);
+        if let Some(&i) = self.index.get(name) {
+            self.phases[i].1.add(&delta);
         } else {
+            self.index.insert(name.to_string(), self.phases.len());
             self.phases.push((name.to_string(), delta));
         }
     }
 
     /// Stat for a named phase, if recorded.
     pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
-        self.phases.iter().find(|(n, _)| n == name).map(|(_, p)| p)
+        self.index.get(name).map(|&i| &self.phases[i].1)
     }
 }
 
@@ -89,6 +96,12 @@ pub struct Breakdown {
     pub total_msgs: u64,
     /// Per-phase: stat of the slowest rank (by modeled time) in that phase.
     pub phases: BTreeMap<String, PhaseStat>,
+    /// Per-phase totals summed over *all* ranks. This is the machine-wide
+    /// accounting (total flops moved, total bytes on the wire per phase) the
+    /// cost-model conformance checker compares against the analytic
+    /// formulas; it deliberately coexists with `phases` because the paper's
+    /// §4.1 breakdown is a *slowest-rank* view, not a total.
+    pub phase_totals: BTreeMap<String, PhaseStat>,
     /// The rank whose virtual clock defines the makespan.
     pub slowest_rank: usize,
     /// Per-phase critical-path rows over the modeled clock, largest first:
@@ -117,6 +130,12 @@ impl Breakdown {
             b.slowest_rank = idx;
             for (name, p) in &slowest.phases {
                 b.phases.insert(name.clone(), *p);
+            }
+        }
+        // Machine-wide per-phase totals (every rank contributes).
+        for r in ranks {
+            for (name, p) in &r.phases {
+                b.phase_totals.entry(name.clone()).or_default().add(p);
             }
         }
         // Critical path: for every phase any rank recorded, the rank with the
@@ -160,6 +179,31 @@ impl Breakdown {
                 row.rank,
                 row.modeled,
                 row.share * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Text rendering of the paper-style per-phase breakdown (§4.1): the
+    /// slowest rank's phase times, explicitly labeled as such, with the
+    /// machine-wide totals alongside for contrast. The paper reports "the
+    /// breakdown on the slowest processor" because per-phase *averages* hide
+    /// load imbalance — a phase can be cheap on average yet bound the
+    /// makespan on one rank.
+    pub fn slowest_rank_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "per-phase breakdown on the slowest rank (rank {}, modeled {:.6e} s):\n",
+            self.slowest_rank, self.modeled_time
+        ));
+        out.push_str(
+            "  phase                     slowest-rank [s]   all-rank total [s]   bytes (slowest)\n",
+        );
+        for (name, p) in &self.phases {
+            let total = self.phase_totals.get(name).copied().unwrap_or_default();
+            out.push_str(&format!(
+                "  {:<24}  {:>16.6e}  {:>19.6e}  {:>16}\n",
+                name, p.modeled, total.modeled, p.bytes_sent
             ));
         }
         out
@@ -232,6 +276,46 @@ mod tests {
         assert!(report.contains("slowest rank 1"), "{report}");
         assert!(report.contains("TTM"), "{report}");
         assert!(report.contains("80.0%"), "{report}");
+    }
+
+    #[test]
+    fn slowest_rank_breakdown_is_not_the_total() {
+        // Three ranks with distinct LQ times; the reported per-phase
+        // breakdown must be the slowest rank's own value (paper §4.1), not
+        // the sum and not the per-phase max of some other rank — while
+        // `phase_totals` carries the machine-wide sum.
+        let mut r0 = RankStats { modeled_time: 1.0, ..Default::default() };
+        r0.accumulate("LQ", stat(1.0, 10.0));
+        let mut r1 = RankStats { modeled_time: 9.0, ..Default::default() };
+        r1.accumulate("LQ", stat(2.0, 20.0));
+        r1.accumulate("TTM", stat(7.0, 0.0));
+        let mut r2 = RankStats { modeled_time: 3.0, ..Default::default() };
+        r2.accumulate("LQ", stat(3.0, 30.0));
+        let b = Breakdown::from_ranks(&[r0, r1, r2]);
+        assert_eq!(b.slowest_rank, 1);
+        // Slowest-rank view: rank 1's LQ = 2.0, even though rank 2's LQ is
+        // larger and the sum is 6.0.
+        assert_eq!(b.phases["LQ"].modeled, 2.0);
+        assert_eq!(b.phases["LQ"].flops, 20.0);
+        // Machine-wide totals coexist.
+        assert_eq!(b.phase_totals["LQ"].modeled, 6.0);
+        assert_eq!(b.phase_totals["LQ"].flops, 60.0);
+        assert_eq!(b.phase_totals["LQ"].bytes_sent, 30);
+        let report = b.slowest_rank_report();
+        assert!(report.contains("slowest rank (rank 1"), "{report}");
+        assert!(report.contains("LQ"), "{report}");
+    }
+
+    #[test]
+    fn accumulate_keeps_first_use_order() {
+        let mut r = RankStats::default();
+        for name in ["Zeta", "Alpha", "Mid", "Alpha", "Zeta"] {
+            r.accumulate(name, stat(1.0, 1.0));
+        }
+        let order: Vec<&str> = r.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(order, vec!["Zeta", "Alpha", "Mid"]);
+        assert_eq!(r.phase("Zeta").unwrap().modeled, 2.0);
+        assert_eq!(r.phase("Alpha").unwrap().modeled, 2.0);
     }
 
     #[test]

@@ -225,8 +225,9 @@ pub fn tail_report(traces: &[RankTrace], n: usize) -> String {
     out
 }
 
-/// Minimal JSON string escaping for event names.
-fn json_escape(s: &str) -> String {
+/// Minimal JSON string escaping for event names. Shared with the metrics
+/// registry's JSON encoder.
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -46,3 +46,43 @@ for r in recs:
     assert isinstance(v, (int, float)) and math.isfinite(v) and v > 0, f"degenerate reading: {r}"
 print(f"bench smoke: {len(recs)} schema-valid records OK")
 PY
+
+# Metrics smoke: a fault-free 8-rank run with --metrics and --model-check
+# must succeed (even grid -> the analytic counts are exact), and the JSON
+# must be schema-valid with a passing embedded conformance report.
+metrics_json="$ckpt/metrics_smoke.json"
+"$tucker" simulate --grid 2x2x2 --kind random --dims 16x16x16 \
+    --ranks 4x4x4 --method qr --metrics "$metrics_json" --model-check
+python3 - "$metrics_json" <<'PY'
+import json, math, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tucker-metrics-v1", f"bad schema: {doc.get('schema')}"
+assert doc["ranks"] == 8 and len(doc["per_rank"]) == 8, "want 8 per-rank registries"
+for reg in doc["per_rank"]:
+    counters, gauges = reg["counters"], reg["gauges"]
+    for key in ("comm/alltoallv/bytes", "comm/p2p/msgs", "kernel/lq/flops",
+                "mem/peak_live_payload_bytes"):
+        assert key in counters, f"missing counter {key}"
+        assert isinstance(counters[key], int) and counters[key] >= 0, f"bad {key}"
+    for key in ("sthosvd/mode0/retained_rank", "sthosvd/mode0/truncation_error"):
+        assert key in gauges and math.isfinite(gauges[key]), f"bad gauge {key}"
+    assert "comm/alltoallv/msg_size" in reg["histograms"], "missing msg_size histogram"
+mc = doc["model_check"]
+assert mc is not None and mc["pass"] is True, f"model check failed: {mc}"
+assert len(mc["per_mode"]) == 3, "want one check row per mode"
+for row in mc["per_mode"]:
+    assert row["flops_rel_dev"] <= mc["tolerance"], f"flop deviation: {row}"
+    assert row["bytes_rel_dev"] <= mc["tolerance"], f"byte deviation: {row}"
+print("metrics smoke: schema + passing model check OK")
+PY
+
+# Metrics overhead smoke: the off/on comparison must run and emit records
+# (the <2% gate itself is enforced only by a full, non---quick run).
+target/release/bench metrics-overhead --quick --out "$ckpt/bench_pr4_smoke.json"
+python3 - "$ckpt/bench_pr4_smoke.json" <<'PY'
+import json, sys
+recs = json.load(open(sys.argv[1]))
+names = {r["bench"] for r in recs}
+assert {"sim_sthosvd_metrics_off", "sim_sthosvd_metrics_on", "metrics_overhead"} <= names, names
+print("metrics overhead smoke: records OK")
+PY

@@ -124,6 +124,38 @@ proptest! {
         }
     }
 
+    /// The metrics registries only *count*: enabling per-rank metrics
+    /// collection must produce bit-identical cores, factors, and error
+    /// estimates to a metrics-off run, for arbitrary grids and every SVD
+    /// method (the counters never touch the data path, and the kernel
+    /// collector in `tucker-linalg` only reads sizes).
+    #[test]
+    fn metrics_do_not_perturb_results(
+        (dims, grid, _) in shapes(),
+        seed in 0u64..1000,
+        method_sel in 0usize..3,
+    ) {
+        let x = test_tensor(&dims, seed);
+        let method = match method_sel {
+            0 => SvdMethod::Qr,
+            1 => SvdMethod::Gram,
+            _ => SvdMethod::GramMixed,
+        };
+        let ranks: Vec<usize> = dims.iter().map(|&d| d.div_ceil(2)).collect();
+        let cfg = SthosvdConfig::with_ranks(ranks).method(method);
+        let p: usize = grid.iter().product();
+        let run = |metrics: bool| {
+            Simulator::new(p)
+                .with_cost(CostModel::andes())
+                .with_metrics(metrics)
+                .run(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg).unwrap())
+                .results
+        };
+        let plain = run(false);
+        let metered = run(true);
+        prop_assert_eq!(plain, metered, "metrics collection changed numerical results");
+    }
+
     /// The observability layer only *records*: running the full parallel
     /// ST-HOSVD with tracing + collective validation + watchdog armed must
     /// produce bit-identical cores, factors, and error estimates to a
@@ -309,6 +341,64 @@ proptest! {
             }
         }
     }
+}
+
+/// Metrics are part of the deterministic contract: two identical runs must
+/// serialize byte-identical per-rank metrics JSON (counters, modeled-time
+/// gauges, and histograms only — wall-clock readings are deliberately
+/// excluded from the serialization).
+#[test]
+fn metrics_json_is_deterministic_across_runs() {
+    let dims = [8usize, 8, 8];
+    let grid = [2usize, 2, 2];
+    let x = test_tensor(&dims, 11);
+    let cfg = SthosvdConfig::with_ranks(vec![4, 4, 4]).method(SvdMethod::Qr);
+    let run = || {
+        let out = Simulator::new(8)
+            .with_cost(CostModel::andes())
+            .with_metrics(true)
+            .run(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg).unwrap());
+        let per_rank: Vec<String> = out.metrics.iter().map(|m| m.to_json()).collect();
+        (out.results.clone(), per_rank.join(","))
+    };
+    let (bits_a, json_a) = run();
+    let (bits_b, json_b) = run();
+    assert_eq!(bits_a, bits_b, "results drifted between identical runs");
+    assert_eq!(json_a, json_b, "metrics JSON drifted between identical runs");
+    // Sanity: the serialization actually carries the cross-layer families.
+    for key in [
+        "comm/alltoallv/bytes",
+        "comm/p2p/modeled_s",
+        "kernel/lq/flops",
+        "mem/peak_live_payload_bytes",
+        "sthosvd/mode0/retained_rank",
+    ] {
+        assert!(json_a.contains(key), "metrics JSON missing {key}");
+    }
+}
+
+/// A metrics-off run must leave no trace of the machinery: the registries
+/// vector stays empty and results are bit-identical to a never-configured
+/// simulator (the `with_metrics(false)` default path).
+#[test]
+fn disabled_metrics_run_matches_baseline_bitwise() {
+    let dims = [6usize, 5, 4];
+    let grid = [2usize, 1, 2];
+    let x = test_tensor(&dims, 13);
+    let cfg = SthosvdConfig::with_tolerance(1e-2).method(SvdMethod::Gram);
+    let baseline = Simulator::new(4)
+        .with_cost(CostModel::andes())
+        .run(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg).unwrap());
+    let disabled = Simulator::new(4)
+        .with_cost(CostModel::andes())
+        .with_metrics(false)
+        .run(|ctx| sthosvd_bits(ctx, &x, &grid, &cfg).unwrap());
+    assert!(disabled.metrics.is_empty(), "with_metrics(false) must collect nothing");
+    assert_eq!(baseline.results, disabled.results, "disabled metrics changed results");
+    assert!(
+        (baseline.breakdown().modeled_time - disabled.breakdown().modeled_time).abs() < 1e-15,
+        "disabled metrics changed modeled time"
+    );
 }
 
 /// `with_faults(FaultPlan::none())` must be free: the fault machinery adds
