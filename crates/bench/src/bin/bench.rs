@@ -10,6 +10,12 @@
 //! writing both wall times and the relative overhead to `BENCH_pr4.json`.
 //! Full mode enforces overhead < 2%.
 //!
+//! `bench serve` — the PR5 serving gate (DESIGN.md §12): the query engine's
+//! deterministic virtual-time benchmark (naive vs batched vs overload) on a
+//! seeded synthetic workload, written to `BENCH_pr5.json`. Both modes
+//! enforce the batched ≥ 2x naive gate — the clock is modeled, so the
+//! numbers carry no host noise.
+//!
 //! `--quick` shrinks the shapes for the CI smoke run (`scripts/ci.sh`);
 //! full mode additionally enforces the PR3 acceptance gate: the
 //! register-tiled engine must beat the reference GEMM by ≥2x at the
@@ -25,7 +31,7 @@ use tucker_linalg::{
 use tucker_mpisim::{CostModel, Simulator};
 use tucker_tensor::{ttm, Tensor};
 
-const USAGE: &str = "usage: bench kernels|metrics-overhead [--quick] [--out FILE.json]";
+const USAGE: &str = "usage: bench kernels|metrics-overhead|serve [--quick] [--out FILE.json]";
 
 /// One output record: a named measurement at a shape and precision.
 struct Rec {
@@ -273,20 +279,82 @@ fn run_metrics_overhead(quick: bool, out_path: &str) {
     println!("wrote {} records to {out_path}", recs.len());
 }
 
+/// `bench serve`: the query-serving benchmark. All clocks are virtual
+/// (`CostModel`-predicted), so the speedup gate holds on any host and the
+/// artifact is reproducible bit-for-bit from the workload seed.
+fn run_serve(quick: bool, out_path: &str) {
+    let r = match tucker_serve::run_serve_bench(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = r.to_json();
+    println!("{json}");
+    println!(
+        "serve: batched {:.2}x naive ({:.3}s -> {:.3}s busy), p50 {:.3}ms p99 {:.3}ms, \
+         {:.0} q/s, {} cache hits / {} misses, overload shed {} of {}",
+        r.speedup,
+        r.naive_busy_s,
+        r.batched_busy_s,
+        r.p50_ms,
+        r.p99_ms,
+        r.throughput_qps,
+        r.cache_hits,
+        r.cache_misses,
+        r.overload_rejected,
+        r.queries,
+    );
+    for (name, v) in [
+        ("speedup", r.speedup),
+        ("p50_ms", r.p50_ms),
+        ("p99_ms", r.p99_ms),
+        ("throughput_qps", r.throughput_qps),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("bench serve: {name} produced a degenerate reading {v}");
+            std::process::exit(1);
+        }
+    }
+    // PR5 acceptance gate — deterministic, so enforced in both modes.
+    if r.speedup < 2.0 {
+        eprintln!("bench serve: batched speedup {:.2}x is below the 2x gate", r.speedup);
+        std::process::exit(1);
+    }
+    if r.overload_rejected == 0 {
+        eprintln!("bench serve: overload run shed no load — backpressure untested");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench serve: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote serve record to {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sub = args.first().map(String::as_str);
-    if sub != Some("kernels") && sub != Some("metrics-overhead") {
+    if sub != Some("kernels") && sub != Some("metrics-overhead") && sub != Some("serve") {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let mut out_path =
-        if sub == Some("kernels") { "BENCH_pr3.json" } else { "BENCH_pr4.json" }.to_string();
+    let mut out_path = match sub {
+        Some("kernels") => "BENCH_pr3.json",
+        Some("serve") => "BENCH_pr5.json",
+        _ => "BENCH_pr4.json",
+    }
+    .to_string();
     for w in args.windows(2) {
         if w[0] == "--out" {
             out_path = w[1].clone();
         }
+    }
+    if sub == Some("serve") {
+        run_serve(quick, &out_path);
+        return;
     }
     if sub == Some("metrics-overhead") {
         run_metrics_overhead(quick, &out_path);

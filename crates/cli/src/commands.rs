@@ -2,11 +2,13 @@
 
 use crate::args::{parse_dims, Args};
 use std::time::{Duration, Instant};
-use tucker_core::tucker_io::{read_tucker, write_tucker};
+use tucker_core::tucker_io::{
+    read_tucker_any, read_tucker_header as read_tucker_hdr, write_tucker, AnyTucker,
+};
 use tucker_core::{
-    check_model, sthosvd_parallel, sthosvd_parallel_checkpointed, sthosvd_with_info,
-    CheckConfig, CheckpointOptions, ModeOrder, ModelCheckReport, SthosvdConfig, SvdMethod,
-    TuckerTensor,
+    check_model, optimize_mode_order, sthosvd_parallel, sthosvd_parallel_checkpointed,
+    sthosvd_with_info, CheckConfig, CheckpointOptions, ModeOrder, ModelCheckReport, OrderSearch,
+    SthosvdConfig, SvdMethod, TuckerTensor,
 };
 use tucker_data::{hcci_surrogate, hash_noise, sp_surrogate, video_surrogate};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
@@ -15,19 +17,30 @@ use tucker_mpisim::{
     chrome_trace_json, text_timeline, CostModel, FaultPlan, MetricsRegistry, Simulator,
     ThreadTopology, TraceConfig,
 };
-use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision};
-use tucker_tensor::Tensor;
+use tucker_serve::{
+    run_serve_bench, AnyStore, Engine, EngineConfig, OrderPolicy, Query, TuckerStore,
+};
+use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision, TensorChunks};
+use tucker_tensor::{hyperslab, FrobAccumulator, Tensor};
 
 /// Usage text shown on errors and `tucker help`.
 pub const USAGE: &str = "\
 usage:
   tucker generate <out.tns> --kind hcci|sp|video|random --dims 40x40x33x40 [--seed N] [--f32]
   tucker compress <in.tns> <out.tkr> [--tol 1e-4 | --ranks 5x5x3x5]
-                  [--method qr|gram|gram-mixed|randomized] [--order forward|backward]
+                  [--method qr|gram|gram-mixed|randomized] [--order forward|backward|auto]
+                  (--order auto searches mode orderings against the cost
+                   model; it requires --ranks)
   tucker decompress <in.tkr> <out.tns>
+  tucker query <store.tkr> --slab SPEC [--out slab.tns] [--no-cache]
+                  [--order-policy exact|cost] [--verify]
+                  (SPEC is one selector per mode, comma-separated:
+                   '*' all, '3' index, '0:8' range, '2:10:2' strided;
+                   --verify checks the result against a full reconstruction)
+  tucker serve-bench [--quick] [--out bench.json]
   tucker simulate [in.tns] --grid 2x2x2 [--kind hcci|sp|video|random --dims 32x32x32 --seed N]
                   [--tol 1e-4 | --ranks 5x5x5] [--method qr|gram|gram-mixed|randomized]
-                  [--order forward|backward] [--trace out.json] [--timeline out.txt] [--validate]
+                  [--order forward|backward|auto] [--trace out.json] [--timeline out.txt] [--validate]
                   [--inject SPEC] [--watchdog-ms N] [--checkpoint-dir DIR] [--resume]
                   [--threads N|auto] [--metrics out.json] [--model-check] [--model-tol 0.05]
                   (SPEC example: crash:rank=2,op=40;drop:rank=0,op=5,times=2)
@@ -46,6 +59,8 @@ pub fn run(a: &Args) -> Result<(), String> {
         "generate" => generate(a),
         "compress" => compress(a),
         "decompress" => decompress(a),
+        "query" => query_cmd(a),
+        "serve-bench" => serve_bench_cmd(a),
         "simulate" => simulate(a),
         "info" => info(a),
         "error" => error_cmd(a),
@@ -122,7 +137,16 @@ fn generate(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn build_config(a: &Args) -> Result<SthosvdConfig, String> {
+/// Build the ST-HOSVD configuration. `dims` is the input tensor shape,
+/// `grid` the processor grid (`None` for sequential runs, treated as all
+/// ones), `bytes` the working scalar width — all three feed the cost model
+/// when `--order auto` asks the optimizer to pick the mode order.
+fn build_config(
+    a: &Args,
+    dims: &[usize],
+    grid: Option<&[usize]>,
+    bytes: usize,
+) -> Result<SthosvdConfig, String> {
     let mut cfg = if let Some(r) = a.opt("ranks") {
         SthosvdConfig::with_ranks(parse_dims(r)?)
     } else {
@@ -133,16 +157,51 @@ fn build_config(a: &Args) -> Result<SthosvdConfig, String> {
             .map_err(|_| "bad --tol")?;
         SthosvdConfig::with_tolerance(tol)
     };
-    cfg = match a.opt("method").unwrap_or("qr") {
-        "qr" => cfg.method(SvdMethod::Qr),
-        "gram" => cfg.method(SvdMethod::Gram),
-        "gram-mixed" => cfg.method(SvdMethod::GramMixed),
-        "randomized" => cfg.method(SvdMethod::Randomized),
+    let method = match a.opt("method").unwrap_or("qr") {
+        "qr" => SvdMethod::Qr,
+        "gram" => SvdMethod::Gram,
+        "gram-mixed" => SvdMethod::GramMixed,
+        "randomized" => SvdMethod::Randomized,
         other => return Err(format!("unknown --method '{other}'")),
     };
+    cfg = cfg.method(method);
     cfg = match a.opt("order").unwrap_or("forward") {
         "forward" => cfg.order(ModeOrder::Forward),
         "backward" => cfg.order(ModeOrder::Backward),
+        "auto" => {
+            // Order optimization needs the truncated ranks up front (§4.2.3:
+            // "if all dimensions and reduced ranks are known at the start").
+            let ranks = parse_dims(
+                a.opt("ranks").ok_or("--order auto requires --ranks (known target ranks)")?,
+            )?;
+            if ranks.len() != dims.len() {
+                return Err(format!(
+                    "--ranks has {} modes but the tensor has {}",
+                    ranks.len(),
+                    dims.len()
+                ));
+            }
+            let ones = vec![1usize; dims.len()];
+            let search = if dims.len() <= 6 {
+                OrderSearch::Exhaustive
+            } else {
+                OrderSearch::Greedy
+            };
+            let (order, modeled) = optimize_mode_order(
+                dims,
+                &ranks,
+                grid.unwrap_or(&ones),
+                method,
+                bytes,
+                CostModel::andes(),
+                search,
+            );
+            println!(
+                "auto mode order: {:?} (modeled {modeled:.3e}s)",
+                order.resolve(dims.len())
+            );
+            cfg.order(order)
+        }
         other => return Err(format!("unknown --order '{other}'")),
     };
     Ok(cfg)
@@ -157,7 +216,7 @@ fn compress_typed<T: Scalar + tucker_tensor::io::IoScalar>(
     let t0 = Instant::now();
     let out = sthosvd_with_info(&x, cfg).map_err(|e| e.to_string())?;
     let dt = t0.elapsed().as_secs_f64();
-    write_tucker(output, &out.tucker).map_err(io_err)?;
+    write_tucker(output, &out.tucker).map_err(|e| e.to_string())?;
     println!(
         "compressed {:?} -> ranks {:?} ({:.1}x) in {dt:.2}s; estimated error {:.3e}",
         x.dims(),
@@ -171,8 +230,12 @@ fn compress_typed<T: Scalar + tucker_tensor::io::IoScalar>(
 fn compress(a: &Args) -> Result<(), String> {
     let input = a.pos(0, "in.tns")?.to_string();
     let output = a.pos(1, "out.tkr")?.to_string();
-    let cfg = build_config(a)?;
     let hdr = read_tensor_header(&input).map_err(io_err)?;
+    let bytes = match hdr.precision {
+        StoredPrecision::Single => 4,
+        StoredPrecision::Double => 8,
+    };
+    let cfg = build_config(a, &hdr.dims, None, bytes)?;
     match hdr.precision {
         StoredPrecision::Single => compress_typed::<f32>(&input, &output, &cfg),
         StoredPrecision::Double => compress_typed::<f64>(&input, &output, &cfg),
@@ -182,17 +245,120 @@ fn compress(a: &Args) -> Result<(), String> {
 fn decompress(a: &Args) -> Result<(), String> {
     let input = a.pos(0, "in.tkr")?;
     let output = a.pos(1, "out.tns")?;
-    // Try double first, then single.
-    if let Ok(tk) = read_tucker::<f64>(input) {
-        let x = tk.reconstruct();
-        write_tensor(output, &x).map_err(io_err)?;
-        println!("reconstructed {:?} to {output}", x.dims());
-        return Ok(());
+    // The header names the stored precision; reconstruct and write in kind.
+    match read_tucker_any(input).map_err(|e| e.to_string())? {
+        AnyTucker::F64(tk) => reconstruct_to(&tk, output),
+        AnyTucker::F32(tk) => reconstruct_to(&tk, output),
     }
-    let tk: TuckerTensor<f32> = read_tucker(input).map_err(io_err)?;
+}
+
+/// Shared tail of `decompress`: materialize and write the reconstruction.
+fn reconstruct_to<T: Scalar + tucker_tensor::io::IoScalar>(
+    tk: &TuckerTensor<T>,
+    output: &str,
+) -> Result<(), String> {
     let x = tk.reconstruct();
     write_tensor(output, &x).map_err(io_err)?;
     println!("reconstructed {:?} to {output}", x.dims());
+    Ok(())
+}
+
+/// Serve one hyperslab query from a compressed store without materializing
+/// the full reconstruction. `--verify` cross-checks the served result
+/// against a full `reconstruct()` + gather — bit-exact under the default
+/// `--order-policy exact`, tolerance-checked under `cost`.
+fn query_cmd(a: &Args) -> Result<(), String> {
+    let path = a.pos(0, "store.tkr")?;
+    let spec = a.opt("slab").ok_or("query requires --slab (e.g. --slab '3,0:8,*')")?;
+    let q = Query::parse(spec).map_err(|e| e.to_string())?;
+    match tucker_serve::open_any(path).map_err(|e| e.to_string())? {
+        AnyStore::F64(st) => query_typed(a, st, &q),
+        AnyStore::F32(st) => query_typed(a, st, &q),
+    }
+}
+
+fn query_typed<T: Scalar + tucker_tensor::io::IoScalar>(
+    a: &Args,
+    store: TuckerStore<T>,
+    q: &Query,
+) -> Result<(), String> {
+    let policy = match a.opt("order-policy").unwrap_or("exact") {
+        "exact" => OrderPolicy::Exact,
+        "cost" => OrderPolicy::Cost,
+        other => return Err(format!("unknown --order-policy '{other}'")),
+    };
+    let cfg = EngineConfig {
+        cache_budget: if a.flag("no-cache") { 0 } else { EngineConfig::default().cache_budget },
+        order_policy: policy,
+        ..EngineConfig::default()
+    };
+    let dims = store.dims().to_vec();
+    let mut engine = Engine::new(store, cfg);
+    let out = engine.execute(q).map_err(|e| e.to_string())?;
+    println!(
+        "query {:?} of {:?}: {} elements, order {:?} ({:.3e} flops; optimal {:?} would be {:.3e})",
+        q.out_dims(&dims),
+        dims,
+        out.tensor.len(),
+        out.plan.order,
+        out.plan.flops,
+        out.plan.best_order,
+        out.plan.best_flops,
+    );
+    if a.flag("verify") {
+        let full = engine.store().tucker().reconstruct();
+        let want = hyperslab(&full, &q.normalized(&dims));
+        if out.tensor.dims() != want.dims() {
+            return Err("verify failed: dimension mismatch".into());
+        }
+        match policy {
+            OrderPolicy::Exact => {
+                for (i, (g, w)) in out.tensor.data().iter().zip(want.data()).enumerate() {
+                    if g.to_f64().to_bits() != w.to_f64().to_bits() {
+                        return Err(format!(
+                            "verify failed: element {i} differs ({:?} vs {:?})",
+                            g.to_f64(),
+                            w.to_f64()
+                        ));
+                    }
+                }
+                println!("verify: OK (bit-identical to full reconstruction)");
+            }
+            OrderPolicy::Cost => {
+                let err = out.tensor.relative_error_to(&want).to_f64();
+                if err > 1e-6 {
+                    return Err(format!("verify failed: relative error {err:.3e}"));
+                }
+                println!("verify: OK (relative error {err:.3e})");
+            }
+        }
+    }
+    if let Some(path) = a.opt("out") {
+        write_tensor(path, &out.tensor).map_err(io_err)?;
+        println!("wrote slab to {path}");
+    }
+    let s = engine.cache_stats();
+    println!(
+        "modeled service: {:.3e}s; cache: {} hits, {} misses, {} bytes",
+        out.cost.seconds, s.hits, s.misses, s.bytes
+    );
+    Ok(())
+}
+
+/// Run the deterministic serving benchmark (naive vs batched vs overload)
+/// and emit its JSON record.
+fn serve_bench_cmd(a: &Args) -> Result<(), String> {
+    let r = run_serve_bench(a.flag("quick")).map_err(|e| e.to_string())?;
+    let json = r.to_json();
+    if let Some(path) = a.opt("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(io_err)?;
+        println!("wrote serve bench to {path}");
+    }
+    println!("{json}");
+    println!(
+        "serve bench: {:.2}x batched speedup, p50 {:.3}ms, p99 {:.3}ms, {} rejected under overload",
+        r.speedup, r.p50_ms, r.p99_ms, r.overload_rejected
+    );
     Ok(())
 }
 
@@ -228,7 +394,7 @@ fn simulate(a: &Args) -> Result<(), String> {
             x.dims().len()
         ));
     }
-    let cfg = build_config(a)?;
+    let cfg = build_config(a, x.dims(), Some(&grid_dims), 8)?;
     let p: usize = grid_dims.iter().product();
 
     let checkpoint = a.opt("checkpoint-dir").map(|dir| {
@@ -374,20 +540,19 @@ fn info(a: &Args) -> Result<(), String> {
         );
         return Ok(());
     }
-    if let Ok(tk) = read_tucker::<f64>(path) {
-        print_tucker_info(&tk);
-        return Ok(());
-    }
-    if let Ok(tk) = read_tucker::<f32>(path) {
-        print_tucker_info(&tk);
+    if let Ok(hdr) = read_tucker_hdr(path) {
+        match read_tucker_any(path).map_err(|e| e.to_string())? {
+            AnyTucker::F64(tk) => print_tucker_info(&tk, hdr.version),
+            AnyTucker::F32(tk) => print_tucker_info(&tk, hdr.version),
+        }
         return Ok(());
     }
     Err(format!("{path}: not a recognized tensor or Tucker file"))
 }
 
-fn print_tucker_info<T: Scalar>(tk: &TuckerTensor<T>) {
+fn print_tucker_info<T: Scalar>(tk: &TuckerTensor<T>, version: u32) {
     println!(
-        "tucker file: original dims {:?}, ranks {:?}, {} parameters, compression {:.1}x",
+        "tucker file (v{version}): original dims {:?}, ranks {:?}, {} parameters, compression {:.1}x",
         tk.original_dims(),
         tk.ranks(),
         tk.num_parameters(),
@@ -395,31 +560,144 @@ fn print_tucker_info<T: Scalar>(tk: &TuckerTensor<T>) {
     );
 }
 
+/// `tucker error` streams both operands blockwise — neither the original
+/// nor the reconstruction is ever fully resident. The second argument may
+/// be a raw tensor file or a compressed `.tkr` store, whose blocks are
+/// reconstructed on the fly by the query engine.
 fn error_cmd(a: &Args) -> Result<(), String> {
     let orig = a.pos(0, "original.tns")?;
-    let recon = a.pos(1, "reconstruction.tns")?;
+    let recon = a.pos(1, "reconstruction.tns|.tkr")?;
     let ho = read_tensor_header(orig).map_err(io_err)?;
-    let hr = read_tensor_header(recon).map_err(io_err)?;
-    if ho.dims != hr.dims {
-        return Err(format!("dimension mismatch: {:?} vs {:?}", ho.dims, hr.dims));
+    if read_tensor_header(recon).is_ok() {
+        return error_vs_tensor(orig, recon, &ho.dims);
     }
-    // Compare in f64 regardless of storage.
-    let x: Tensor<f64> = match ho.precision {
-        StoredPrecision::Double => read_tensor(orig).map_err(io_err)?,
-        StoredPrecision::Single => read_tensor::<f32>(orig).map_err(io_err)?.cast(),
-    };
-    let y: Tensor<f64> = match hr.precision {
-        StoredPrecision::Double => read_tensor(recon).map_err(io_err)?,
-        StoredPrecision::Single => read_tensor::<f32>(recon).map_err(io_err)?.cast(),
-    };
-    println!("relative error: {:.6e}", x.relative_error_to(&y));
+    match tucker_serve::open_any(recon).map_err(|e| format!("{recon}: {e}"))? {
+        AnyStore::F64(st) => error_vs_store(orig, st, &ho.dims),
+        AnyStore::F32(st) => error_vs_store(orig, st, &ho.dims),
+    }
+}
+
+/// Chunked streaming comparison against `f64`-converted buffers.
+fn next_chunk_f64(
+    reader: &mut ChunkReader,
+    max: usize,
+    buf: &mut Vec<f64>,
+) -> Result<usize, String> {
+    match reader {
+        ChunkReader::F64(c, raw) => {
+            let n = c.next_chunk(max, raw).map_err(io_err)?;
+            buf.clear();
+            buf.extend_from_slice(&raw[..n]);
+            Ok(n)
+        }
+        ChunkReader::F32(c, raw) => {
+            let n = c.next_chunk(max, raw).map_err(io_err)?;
+            buf.clear();
+            buf.extend(raw[..n].iter().map(|&v| v as f64));
+            Ok(n)
+        }
+    }
+}
+
+enum ChunkReader {
+    F64(TensorChunks<f64>, Vec<f64>),
+    F32(TensorChunks<f32>, Vec<f32>),
+}
+
+fn open_chunks(path: &str) -> Result<ChunkReader, String> {
+    let hdr = read_tensor_header(path).map_err(io_err)?;
+    Ok(match hdr.precision {
+        StoredPrecision::Double => ChunkReader::F64(TensorChunks::open(path).map_err(io_err)?, Vec::new()),
+        StoredPrecision::Single => ChunkReader::F32(TensorChunks::open(path).map_err(io_err)?, Vec::new()),
+    })
+}
+
+/// Elements per streamed block (~0.5 MiB of f64).
+const ERROR_BLOCK_ELEMS: usize = 1 << 16;
+
+fn error_vs_tensor(orig: &str, recon: &str, dims: &[usize]) -> Result<(), String> {
+    let hr = read_tensor_header(recon).map_err(io_err)?;
+    if dims != hr.dims {
+        return Err(format!("dimension mismatch: {dims:?} vs {:?}", hr.dims));
+    }
+    let mut xs = open_chunks(orig)?;
+    let mut ys = open_chunks(recon)?;
+    let mut nx = FrobAccumulator::<f64>::new();
+    let mut nd = FrobAccumulator::<f64>::new();
+    let (mut xb, mut yb) = (Vec::new(), Vec::new());
+    loop {
+        let n = next_chunk_f64(&mut xs, ERROR_BLOCK_ELEMS, &mut xb)?;
+        let m = next_chunk_f64(&mut ys, ERROR_BLOCK_ELEMS, &mut yb)?;
+        if n != m {
+            return Err("payload length mismatch".into());
+        }
+        if n == 0 {
+            break;
+        }
+        nx.push(&xb);
+        nd.push_diff(&xb, &yb);
+    }
+    print_relative_error(nd.norm(), nx.norm());
     Ok(())
+}
+
+/// Compare a streamed original against a compressed store, reconstructing
+/// one last-mode block at a time (mode 0 varies fastest in both the file
+/// payload and the engine's output, so each block is one contiguous run).
+fn error_vs_store<T: Scalar + tucker_tensor::io::IoScalar>(
+    orig: &str,
+    store: TuckerStore<T>,
+    dims: &[usize],
+) -> Result<(), String> {
+    if dims != store.dims() {
+        return Err(format!("dimension mismatch: {dims:?} vs {:?}", store.dims()));
+    }
+    let last = dims.len() - 1;
+    let stride_last: usize = dims[..last].iter().product();
+    let rows_per_block = (ERROR_BLOCK_ELEMS / stride_last.max(1)).clamp(1, dims[last]);
+    let mut xs = open_chunks(orig)?;
+    let mut engine = Engine::new(store, EngineConfig::default());
+    let mut nx = FrobAccumulator::<f64>::new();
+    let mut nd = FrobAccumulator::<f64>::new();
+    let (mut xb, mut yb) = (Vec::new(), Vec::new());
+    let mut k = 0;
+    while k < dims[last] {
+        let rows = rows_per_block.min(dims[last] - k);
+        let mut sel: Vec<tucker_serve::ModeSel> =
+            dims[..last].iter().map(|_| tucker_serve::ModeSel::All).collect();
+        sel.push(tucker_serve::ModeSel::Range(k, k + rows));
+        let out = engine.execute(&Query { sel }).map_err(|e| e.to_string())?;
+        let n = next_chunk_f64(&mut xs, rows * stride_last, &mut xb)?;
+        if n != out.tensor.len() {
+            return Err("payload length mismatch".into());
+        }
+        yb.clear();
+        yb.extend(out.tensor.data().iter().map(|&v| v.to_f64()));
+        nx.push(&xb);
+        nd.push_diff(&xb, &yb);
+        k += rows;
+    }
+    // The file must be exactly exhausted.
+    if next_chunk_f64(&mut xs, 1, &mut xb)? != 0 {
+        return Err("payload length mismatch".into());
+    }
+    print_relative_error(nd.norm(), nx.norm());
+    Ok(())
+}
+
+fn print_relative_error(diff: f64, reference: f64) {
+    if reference == 0.0 {
+        println!("relative error: {:.6e}", if diff == 0.0 { 0.0 } else { f64::INFINITY });
+    } else {
+        println!("relative error: {:.6e}", diff / reference);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::args::parse;
+    use tucker_core::read_tucker;
 
     fn toks(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -687,6 +965,150 @@ mod tests {
         .unwrap());
         let msg = r.unwrap_err();
         assert!(msg.contains("model conformance check failed"), "{msg}");
+    }
+
+    #[test]
+    fn order_auto_compresses_and_roundtrips() {
+        let dir = tmpdir().join("orderauto");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tns = dir.join("x.tns").display().to_string();
+        let tkr = dir.join("x.tkr").display().to_string();
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind random --dims 20x6x10 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+        // Auto ordering requires known ranks...
+        let msg = run(&parse(&toks(&format!(
+            "compress {tns} {tkr} --tol 1e-3 --order auto"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(msg.contains("--ranks"), "{msg}");
+        // ...and with them produces a working store.
+        run(&parse(&toks(&format!(
+            "compress {tns} {tkr} --ranks 4x2x3 --order auto"
+        )))
+        .unwrap())
+        .unwrap();
+        let tk: TuckerTensor<f64> = read_tucker(&tkr).unwrap();
+        assert_eq!(tk.ranks(), vec![4, 2, 3]);
+        // The optimized order also drives the simulated path.
+        run(&parse(&toks(&format!(
+            "simulate {tns} --grid 2x1x1 --ranks 4x2x3 --order auto"
+        )))
+        .unwrap())
+        .unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn query_serves_verified_slabs_from_a_store() {
+        let dir = tmpdir().join("querycli");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tns = dir.join("q.tns").display().to_string();
+        let tkr = dir.join("q.tkr").display().to_string();
+        let out = dir.join("slab.tns").display().to_string();
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind random --dims 16x12x10 --seed 11"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!("compress {tns} {tkr} --ranks 5x4x3"))).unwrap()).unwrap();
+        // Several shapes, each verified bit-exact against reconstruct().
+        for spec in ["3,4,5", "*,4,5", "*,4,*", "0:16:3,2:8,*", "2:9,1:5,3:8"] {
+            run(&parse(&[
+                "query".into(),
+                tkr.clone(),
+                "--slab".into(),
+                spec.into(),
+                "--verify".into(),
+            ])
+            .unwrap())
+            .unwrap();
+        }
+        // Cache off and cost order also pass verification.
+        run(&parse(&[
+            "query".into(),
+            tkr.clone(),
+            "--slab".into(),
+            "0:8,*,2".into(),
+            "--verify".into(),
+            "--no-cache".into(),
+        ])
+        .unwrap())
+        .unwrap();
+        run(&parse(&[
+            "query".into(),
+            tkr.clone(),
+            "--slab".into(),
+            "0:8,*,2".into(),
+            "--verify".into(),
+            "--order-policy".into(),
+            "cost".into(),
+        ])
+        .unwrap())
+        .unwrap();
+        // --out writes a loadable tensor of the right shape.
+        run(&parse(&[
+            "query".into(),
+            tkr.clone(),
+            "--slab".into(),
+            "1:5,2,*".into(),
+            "--out".into(),
+            out.clone(),
+        ])
+        .unwrap())
+        .unwrap();
+        let slab: Tensor<f64> = read_tensor(&out).unwrap();
+        assert_eq!(slab.dims(), &[4, 1, 10]);
+        // Bad specs are CLI errors, not panics.
+        for bad in ["1:0,2,3", "9999,0,0", "1,2"] {
+            assert!(run(&parse(&[
+                "query".into(),
+                tkr.clone(),
+                "--slab".into(),
+                bad.into(),
+            ])
+            .unwrap())
+            .is_err());
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn error_cmd_accepts_compressed_store_blockwise() {
+        let dir = tmpdir().join("errstore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tns = dir.join("e.tns").display().to_string();
+        let tkr = dir.join("e.tkr").display().to_string();
+        let rec = dir.join("e_rec.tns").display().to_string();
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind hcci --dims 10x10x8x10 --seed 5"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!("compress {tns} {tkr} --tol 1e-3"))).unwrap()).unwrap();
+        // Blockwise error against the store must equal the materialized path.
+        run(&parse(&toks(&format!("error {tns} {tkr}"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!("decompress {tkr} {rec}"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!("error {tns} {rec}"))).unwrap()).unwrap();
+        let x: Tensor<f64> = read_tensor(&tns).unwrap();
+        let y: Tensor<f64> = read_tensor(&rec).unwrap();
+        assert!(x.relative_error_to(&y) <= 1e-3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_quick_writes_json() {
+        let dir = tmpdir().join("servebench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("b.json").display().to_string();
+        run(&parse(&toks(&format!("serve-bench --quick --out {out}"))).unwrap()).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\":\"serve\""));
+        assert!(json.contains("\"speedup\":"));
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod crc32;
 pub mod conformance;
 pub mod hosvd;
 pub mod model;
@@ -43,4 +44,7 @@ pub use hosvd::hosvd;
 pub use order::{optimize_mode_order, OrderSearch};
 pub use truncate::choose_rank;
 pub use tucker::TuckerTensor;
-pub use tucker_io::{read_tucker, write_tucker};
+pub use tucker_io::{
+    read_tucker, read_tucker_any, read_tucker_header, write_tucker, write_tucker_v1, AnyTucker,
+    Section, TuckerHeader, TuckerIoError,
+};

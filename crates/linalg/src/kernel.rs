@@ -313,6 +313,24 @@ pub fn gemm_prepacked<T: Scalar>(
     });
 }
 
+/// Batched `C_i += alpha · A · B_i` with one shared pre-packed A — the
+/// partial-TTM entry point for the serving layer: many concurrent queries
+/// select different factor-row blocks (different B/C pairs) but contract
+/// against the same packed core operand. Jobs run in parallel on the rayon
+/// pool; each job individually is bit-identical to a solo
+/// [`gemm_prepacked`] call on the same operands, since jobs share no output.
+pub fn gemm_prepacked_batch<T: Scalar>(
+    alpha: T,
+    a: &PackedA<T>,
+    jobs: &mut [(MatRef<'_, T>, MatMut<'_, T>)],
+) {
+    use rayon::prelude::*;
+    jobs.par_chunks_mut(1).for_each(|job| {
+        let (b, c) = &mut job[0];
+        gemm_prepacked(alpha, a, *b, c);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +413,26 @@ mod tests {
         // the strided-B path produced finite, nonzero output.
         assert!(c2.data().iter().all(|v| v.is_finite()));
         assert!(c1.data().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn batch_matches_solo_calls_bitwise() {
+        let a = pseudo_matrix(90, 140, 8);
+        let packed = PackedA::new(a.as_ref());
+        let bs: Vec<Matrix<f64>> = (0..7).map(|s| pseudo_matrix(140, 10 + s, 20 + s as u64)).collect();
+        let mut solo: Vec<Matrix<f64>> = bs.iter().map(|b| Matrix::zeros(90, b.cols())).collect();
+        for (b, c) in bs.iter().zip(&mut solo) {
+            gemm_prepacked(1.0, &packed, b.as_ref(), &mut c.as_mut());
+        }
+        let mut batched: Vec<Matrix<f64>> = bs.iter().map(|b| Matrix::zeros(90, b.cols())).collect();
+        {
+            let mut jobs: Vec<_> =
+                bs.iter().zip(&mut batched).map(|(b, c)| (b.as_ref(), c.as_mut())).collect();
+            gemm_prepacked_batch(1.0, &packed, &mut jobs);
+        }
+        for (s, b) in solo.iter().zip(&batched) {
+            assert_eq!(s.data(), b.data());
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! The `bench serve` harness: naive-vs-batched serving on a seeded
+//! synthetic workload, in virtual time.
+//!
+//! Three runs over the same request trace:
+//!
+//! 1. **naive** — cache off, batch limit 1: every query contracts its own
+//!    mode-0 partial.
+//! 2. **batched** — cache on, batching on: partials are computed once per
+//!    aligned block and shared across the batch and the cache.
+//! 3. **overload** — batched config squeezed through one worker and a tiny
+//!    admission queue: exercises typed [`ServeError::Overloaded`]
+//!    rejections (none of which may corrupt admitted results).
+//!
+//! Every admitted request's result is CRC-fingerprinted; the naive and
+//! batched fingerprints must agree request-for-request (the batched path is
+//! bit-identical by design), and the overload run's completions must be a
+//! CRC-subset of the batched ones. All clocks are modeled
+//! ([`CostModel`](tucker_mpisim::CostModel)), so the emitted numbers are
+//! machine-independent.
+
+use crate::engine::{Engine, EngineConfig, RunConfig, RunReport};
+use crate::error::ServeError;
+use crate::store::TuckerStore;
+use crate::workload::{synthetic_store, synthetic_trace, WorkloadConfig};
+use std::collections::BTreeMap;
+
+/// Everything `BENCH_pr5.json` records.
+#[derive(Clone, Debug)]
+pub struct ServeBenchResult {
+    /// Synthetic tensor dimensions.
+    pub shape: Vec<usize>,
+    /// Stored ranks.
+    pub ranks: Vec<usize>,
+    /// Requests in the trace.
+    pub queries: usize,
+    /// Worker-busy seconds, naive run.
+    pub naive_busy_s: f64,
+    /// Worker-busy seconds, batched run.
+    pub batched_busy_s: f64,
+    /// `naive_busy_s / batched_busy_s` — the gated number.
+    pub speedup: f64,
+    /// Median end-to-end modeled latency, batched run, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile modeled latency, batched run, milliseconds.
+    pub p99_ms: f64,
+    /// Completed queries per modeled second, batched run.
+    pub throughput_qps: f64,
+    /// Mean batch size in the batched run.
+    pub mean_batch: f64,
+    /// Cache hits in the batched run.
+    pub cache_hits: u64,
+    /// Cache misses in the batched run.
+    pub cache_misses: u64,
+    /// Admitted-and-completed requests in the overload run.
+    pub overload_completed: usize,
+    /// Typed `Overloaded` rejections in the overload run.
+    pub overload_rejected: usize,
+}
+
+impl ServeBenchResult {
+    /// Deterministic JSON (keys in fixed order).
+    pub fn to_json(&self) -> String {
+        let ints = |v: &[usize]| {
+            v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            concat!(
+                "{{\"bench\":\"serve\",\"shape\":[{shape}],\"ranks\":[{ranks}],",
+                "\"queries\":{queries},\"naive_busy_s\":{naive:.9},",
+                "\"batched_busy_s\":{batched:.9},\"speedup\":{speedup:.4},",
+                "\"p50_ms\":{p50:.6},\"p99_ms\":{p99:.6},",
+                "\"throughput_qps\":{qps:.3},\"mean_batch\":{mb:.4},",
+                "\"cache_hits\":{hits},\"cache_misses\":{misses},",
+                "\"overload_completed\":{oc},\"overload_rejected\":{or}}}"
+            ),
+            shape = ints(&self.shape),
+            ranks = ints(&self.ranks),
+            queries = self.queries,
+            naive = self.naive_busy_s,
+            batched = self.batched_busy_s,
+            speedup = self.speedup,
+            p50 = self.p50_ms,
+            p99 = self.p99_ms,
+            qps = self.throughput_qps,
+            mb = self.mean_batch,
+            hits = self.cache_hits,
+            misses = self.cache_misses,
+            oc = self.overload_completed,
+            or = self.overload_rejected,
+        )
+    }
+}
+
+fn crc_by_index(report: &RunReport) -> BTreeMap<usize, u32> {
+    report.completions.iter().map(|c| (c.index, c.crc)).collect()
+}
+
+/// Run the serving benchmark. `quick` shrinks the store and trace for CI
+/// smoke runs; the full configuration backs the committed artifact.
+pub fn run_serve_bench(quick: bool) -> Result<ServeBenchResult, ServeError> {
+    let wl = if quick {
+        WorkloadConfig {
+            dims: vec![48, 40, 36],
+            ranks: vec![12, 10, 9],
+            requests: 120,
+            ..WorkloadConfig::default()
+        }
+    } else {
+        WorkloadConfig::default()
+    };
+    let trace = synthetic_trace(&wl);
+    let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
+    // One worker for both strategies: the queue backs up enough for real
+    // batches to form, and busy-time is an apples-to-apples compute total.
+    let open_queue = RunConfig { workers: 1, queue_capacity: usize::MAX, batch_limit: 16 };
+
+    // Naive: cache off, batch of one.
+    let mut naive = Engine::new(
+        TuckerStore::from_tucker(tucker.clone()),
+        EngineConfig { cache_budget: 0, ..EngineConfig::default() },
+    );
+    let naive_report =
+        naive.run(&trace, &RunConfig { batch_limit: 1, ..open_queue })?;
+    assert_eq!(naive_report.completions.len(), trace.len(), "open queue drops nothing");
+
+    // Batched: cache + batching on.
+    let mut batched =
+        Engine::new(TuckerStore::from_tucker(tucker.clone()), EngineConfig::default());
+    let batched_report = batched.run(&trace, &open_queue)?;
+    assert_eq!(batched_report.completions.len(), trace.len());
+
+    // Bit-identity across strategies: every request's payload CRC agrees.
+    let naive_crc = crc_by_index(&naive_report);
+    let batched_crc = crc_by_index(&batched_report);
+    assert_eq!(naive_crc, batched_crc, "batched results must be bit-identical to naive");
+
+    // Overload: the same queries arriving 50× faster at one worker behind
+    // a tiny queue — must reject (typed), never corrupt admitted work.
+    let burst: Vec<_> = trace
+        .iter()
+        .map(|r| crate::engine::Request { arrival: r.arrival * 0.02, query: r.query.clone() })
+        .collect();
+    let mut overload =
+        Engine::new(TuckerStore::from_tucker(tucker), EngineConfig::default());
+    let overload_report = overload
+        .run(&burst, &RunConfig { workers: 1, queue_capacity: 8, batch_limit: 16 })?;
+    assert_eq!(
+        overload_report.completions.len() + overload_report.rejections.len(),
+        trace.len(),
+        "every request either completes or is rejected"
+    );
+    for c in &overload_report.completions {
+        assert_eq!(batched_crc[&c.index], c.crc, "admitted results survive overload intact");
+    }
+    for r in &overload_report.rejections {
+        assert!(
+            matches!(r.error, ServeError::Overloaded { .. }),
+            "rejections are typed Overloaded"
+        );
+    }
+
+    let stats = batched.cache_stats();
+    let n = batched_report.completions.len().max(1);
+    let mean_batch = batched_report.completions.iter().map(|c| c.batch_size).sum::<usize>()
+        as f64
+        / n as f64;
+    let speedup = naive_report.busy_seconds / batched_report.busy_seconds.max(1e-30);
+    Ok(ServeBenchResult {
+        shape: wl.dims.clone(),
+        ranks: wl.ranks.clone(),
+        queries: trace.len(),
+        naive_busy_s: naive_report.busy_seconds,
+        batched_busy_s: batched_report.busy_seconds,
+        speedup,
+        p50_ms: batched_report.latency_quantile(0.50) * 1e3,
+        p99_ms: batched_report.latency_quantile(0.99) * 1e3,
+        throughput_qps: batched_report.throughput(),
+        mean_batch,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        overload_completed: overload_report.completions.len(),
+        overload_rejected: overload_report.rejections.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_hits_the_speedup_gate() {
+        let r = run_serve_bench(true).expect("bench runs");
+        assert_eq!(r.queries, 120);
+        assert!(
+            r.speedup >= 2.0,
+            "batched serving must be ≥2× naive, got {:.2}×",
+            r.speedup
+        );
+        assert!(r.cache_hits > r.cache_misses, "hot workload should mostly hit");
+        assert!(r.overload_rejected > 0, "overload run should shed load");
+        assert!(r.p50_ms <= r.p99_ms);
+        assert!(r.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let r = run_serve_bench(true).expect("bench runs");
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"bench\":\"serve\"",
+            "\"speedup\":",
+            "\"p50_ms\":",
+            "\"p99_ms\":",
+            "\"overload_rejected\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

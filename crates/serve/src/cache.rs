@@ -1,0 +1,180 @@
+//! Deterministic LRU cache of partial contractions.
+//!
+//! Values are mode-0 partials `G ×_0 U_0[bstart..bend]` for *block-aligned*
+//! contiguous row ranges: queries whose mode-0 selections fall inside the
+//! same aligned block share one entry, and a query's exact rows are cut out
+//! of the cached partial by a pure-copy gather (bit-preserving, see
+//! `tucker_tensor::slice`). Keys order and eviction are fully deterministic
+//! — a `BTreeMap` plus a monotone use-counter, least-recently-used evicted
+//! first — so cache behavior (and therefore every benchmark number derived
+//! from it) is reproducible run to run.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tucker_tensor::Tensor;
+
+/// Cache key: a contracted mode and the aligned row range `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PartialKey {
+    /// Contracted mode (currently always 0).
+    pub mode: usize,
+    /// First factor row of the cached partial.
+    pub start: usize,
+    /// One past the last factor row.
+    pub end: usize,
+}
+
+struct Entry<T> {
+    value: Arc<Tensor<T>>,
+    bytes: usize,
+    last_use: u64,
+}
+
+/// Running totals, exported into the metrics registry by the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay under budget.
+    pub evictions: u64,
+    /// Payload bytes currently resident.
+    pub bytes: usize,
+}
+
+/// Byte-budgeted LRU of partial contraction tensors.
+pub struct ContractionCache<T> {
+    map: BTreeMap<PartialKey, Entry<T>>,
+    budget: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<T> ContractionCache<T> {
+    /// Cache with the given payload-byte budget (0 disables storage; every
+    /// lookup misses and inserts are dropped).
+    pub fn new(budget: usize) -> Self {
+        ContractionCache { map: BTreeMap::new(), budget, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// Look up a partial, refreshing its recency on hit.
+    pub fn get(&mut self, key: PartialKey) -> Option<Arc<Tensor<T>>> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                e.last_use = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.value))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a partial of the given payload size, evicting LRU entries
+    /// until the budget holds. An entry larger than the whole budget is not
+    /// stored at all.
+    pub fn insert(&mut self, key: PartialKey, value: Arc<Tensor<T>>, bytes: usize) {
+        if bytes > self.budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.insert(key, Entry { value, bytes, last_use: self.tick }) {
+            self.stats.bytes -= old.bytes;
+        }
+        self.stats.bytes += bytes;
+        while self.stats.bytes > self.budget {
+            // Deterministic LRU victim: smallest use-counter; BTreeMap order
+            // breaks the (impossible) tie stably.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(&k, _)| k)
+                .expect("over budget implies non-empty");
+            let gone = self.map.remove(&victim).expect("victim exists");
+            self.stats.bytes -= gone.bytes;
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Totals so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tensor_of(bytes: usize) -> Arc<Tensor<f64>> {
+        Arc::new(Tensor::zeros(&[bytes / 8]))
+    }
+
+    fn key(start: usize, end: usize) -> PartialKey {
+        PartialKey { mode: 0, start, end }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = ContractionCache::new(1024);
+        assert!(c.get(key(0, 32)).is_none());
+        c.insert(key(0, 32), tensor_of(256), 256);
+        assert!(c.get(key(0, 32)).is_some());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().bytes, 256);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = ContractionCache::new(512);
+        c.insert(key(0, 32), tensor_of(256), 256);
+        c.insert(key(32, 64), tensor_of(256), 256);
+        // Touch the first so the second becomes LRU.
+        assert!(c.get(key(0, 32)).is_some());
+        c.insert(key(64, 96), tensor_of(256), 256);
+        assert!(c.get(key(0, 32)).is_some(), "recently used survives");
+        assert!(c.get(key(32, 64)).is_none(), "LRU entry evicted");
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().bytes, 512);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_stored() {
+        let mut c = ContractionCache::new(100);
+        c.insert(key(0, 32), tensor_of(256), 256);
+        assert_eq!(c.len(), 0);
+        assert!(c.get(key(0, 32)).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_storage() {
+        let mut c = ContractionCache::new(0);
+        c.insert(key(0, 32), tensor_of(8), 8);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let mut c = ContractionCache::new(1024);
+        c.insert(key(0, 32), tensor_of(256), 256);
+        c.insert(key(0, 32), tensor_of(512), 512);
+        assert_eq!(c.stats().bytes, 512);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Typed errors for the serving layer.
+
+use std::fmt;
+use tucker_core::tucker_io::TuckerIoError;
+
+/// Everything that can go wrong answering a reconstruction query.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded queue was full.
+    /// Carries the observed occupancy so clients can back off proportionally.
+    Overloaded {
+        /// Requests queued at rejection time.
+        queued: usize,
+        /// Queue capacity.
+        capacity: usize,
+    },
+    /// The executor is draining for shutdown and accepts no new work.
+    Draining,
+    /// The query is malformed or out of bounds for the store's dimensions.
+    BadQuery(String),
+    /// The underlying store failed to open or verify (includes checksum
+    /// mismatches naming the damaged section).
+    Io(TuckerIoError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {queued}/{capacity} requests queued, admission denied")
+            }
+            ServeError::Draining => write!(f, "executor is draining; no new requests accepted"),
+            ServeError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            ServeError::Io(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TuckerIoError> for ServeError {
+    fn from(e: TuckerIoError) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,40 @@
+//! # tucker-serve — compressed-tensor query engine
+//!
+//! Serves reconstruction queries (elements, fibers, slices, hyperslabs,
+//! strided downsamples) directly from a Tucker decomposition without ever
+//! materializing the full tensor. The crate layers as:
+//!
+//! - [`store`] — read-only [`TuckerStore`] over a checksummed TUCK file,
+//!   with the mode-0 core unfolding packed once for all queries;
+//! - [`query`] — the [`Query`] selection model and its CLI slab-spec parser;
+//! - [`plan`] — the §3.5-style cost model choosing contraction order;
+//! - [`cache`] — deterministic byte-budgeted LRU of partial contractions;
+//! - [`engine`] — batched execution plus a deterministic virtual-time
+//!   serving loop with bounded-queue admission control;
+//! - [`workload`] — seeded synthetic request traces;
+//! - [`bench`] — the `bench serve` harness behind `BENCH_pr5.json`.
+//!
+//! The engine's default path ([`OrderPolicy::Exact`]) is **bit-identical**
+//! to slicing `TuckerTensor::reconstruct()` — see the determinism argument
+//! in [`store`] and the equivalence proptests under `tests/`.
+
+pub mod bench;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod plan;
+pub mod query;
+pub mod store;
+pub mod workload;
+
+pub use bench::{run_serve_bench, ServeBenchResult};
+pub use cache::{CacheStats, ContractionCache, PartialKey};
+pub use engine::{
+    tensor_crc, BatchOutput, Completion, Engine, EngineConfig, QueryCost, QueryOutput, Rejection,
+    Request, RunConfig, RunReport,
+};
+pub use error::ServeError;
+pub use plan::{plan, OrderPolicy, QueryPlan};
+pub use query::{ModeSel, Query, QueryKind};
+pub use store::{open_any, AnyStore, TuckerStore};
+pub use workload::{synthetic_store, synthetic_trace, WorkloadConfig};

@@ -1,0 +1,159 @@
+//! Query planning: choose the mode-contraction order and predict its cost.
+//!
+//! A query reconstructs `G ×_0 U_0[s_0] ×_1 U_1[s_1] ⋯` where `U_n[s_n]`
+//! keeps only the selected factor rows. The modes can be contracted in any
+//! order; contracting a mode changes its extent from the stored rank `R_n`
+//! to the selected count `q_n`, so order determines every intermediate size
+//! — the same flop-count structure as the §3.5 TTM cost model in
+//! `tucker_core::model` (`2·q·R·∏(other extents)` per mode, γ seconds per
+//! flop). The planner minimizes total predicted flops: exhaustively for
+//! tensors up to 6 modes, greedily (largest shrink ratio `R_n/q_n` first)
+//! beyond that.
+//!
+//! Bit-identity caveat: floating-point TTM chains are only bit-identical to
+//! [`TuckerTensor::reconstruct`](tucker_core::TuckerTensor::reconstruct)
+//! when contracted in the *same* (ascending) mode order. The engine
+//! therefore executes [`OrderPolicy::Exact`] (ascending) by default and
+//! treats the cost-minimizing order as an opt-in ([`OrderPolicy::Cost`])
+//! whose results agree to rounding, not to the bit. The optimal order and
+//! its predicted saving are always computed for observability either way.
+
+/// Which contraction order the engine executes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Ascending mode order — bit-identical to full reconstruction.
+    #[default]
+    Exact,
+    /// Cost-model-optimal order — fewest flops, equal to rounding only.
+    Cost,
+}
+
+/// A planned query execution.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Mode order actually executed.
+    pub order: Vec<usize>,
+    /// Predicted flops of the executed order.
+    pub flops: f64,
+    /// Cost-optimal order (= `order` under [`OrderPolicy::Cost`]).
+    pub best_order: Vec<usize>,
+    /// Predicted flops of the optimal order.
+    pub best_flops: f64,
+    /// Largest intermediate size (elements) along the executed order.
+    pub peak_elems: usize,
+}
+
+/// Predicted flops of contracting modes in `order`, where mode `n` shrinks
+/// extent `ranks[n]` → `counts[n]`. Mirrors the §3.5 TTM term: each
+/// contraction is a `(q_n × R_n) · (R_n × rest)` GEMM, `2·q·R·rest` flops.
+fn chain_flops(ranks: &[usize], counts: &[usize], order: &[usize]) -> (f64, usize) {
+    let mut extents: Vec<usize> = ranks.to_vec();
+    let mut flops = 0.0;
+    let mut peak = extents.iter().product::<usize>();
+    for &n in order {
+        let rest: usize = extents.iter().enumerate().filter(|&(m, _)| m != n).map(|(_, &e)| e).product();
+        flops += 2.0 * counts[n] as f64 * ranks[n] as f64 * rest as f64;
+        extents[n] = counts[n];
+        peak = peak.max(extents.iter().product());
+    }
+    (flops, peak)
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for rest in permutations(n - 1) {
+        for pos in 0..=rest.len() {
+            let mut p = rest.clone();
+            p.insert(pos, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Plan a query: `ranks` are the stored core dimensions, `counts` the
+/// per-mode selected row counts.
+pub fn plan(ranks: &[usize], counts: &[usize], policy: OrderPolicy) -> QueryPlan {
+    assert_eq!(ranks.len(), counts.len(), "plan: rank/count length mismatch");
+    let n = ranks.len();
+    let ascending: Vec<usize> = (0..n).collect();
+    let best_order = if n <= 6 {
+        permutations(n)
+            .into_iter()
+            .min_by(|a, b| {
+                let fa = chain_flops(ranks, counts, a).0;
+                let fb = chain_flops(ranks, counts, b).0;
+                // Flop totals are exact small-integer sums in f64; ties break
+                // lexicographically for determinism.
+                fa.partial_cmp(&fb).unwrap().then_with(|| a.cmp(b))
+            })
+            .unwrap_or_default()
+    } else {
+        // Greedy: contract the biggest shrinkers (R_n/q_n) first; ties by
+        // mode index for determinism.
+        let mut order = ascending.clone();
+        order.sort_by(|&a, &b| {
+            let ra = ranks[a] as f64 / counts[a] as f64;
+            let rb = ranks[b] as f64 / counts[b] as f64;
+            rb.partial_cmp(&ra).unwrap().then_with(|| a.cmp(&b))
+        });
+        order
+    };
+    let (best_flops, _) = chain_flops(ranks, counts, &best_order);
+    let order = match policy {
+        OrderPolicy::Exact => ascending,
+        OrderPolicy::Cost => best_order.clone(),
+    };
+    let (flops, peak_elems) = chain_flops(ranks, counts, &order);
+    QueryPlan { order, flops, best_order, best_flops, peak_elems }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_policy_keeps_ascending_order() {
+        let p = plan(&[10, 10, 10], &[1, 10, 10], OrderPolicy::Exact);
+        assert_eq!(p.order, vec![0, 1, 2]);
+        assert!(p.flops > 0.0);
+    }
+
+    #[test]
+    fn cost_policy_contracts_biggest_shrinker_first() {
+        // Mode 2 shrinks 10 → 1; contracting it first minimizes the rest.
+        let p = plan(&[10, 10, 10], &[10, 10, 1], OrderPolicy::Cost);
+        assert_eq!(p.order[0], 2);
+        assert!(p.best_flops <= plan(&[10, 10, 10], &[10, 10, 1], OrderPolicy::Exact).flops);
+    }
+
+    #[test]
+    fn exhaustive_beats_or_ties_every_listed_order() {
+        let ranks = [6, 9, 4, 7];
+        let counts = [3, 1, 4, 2];
+        let p = plan(&ranks, &counts, OrderPolicy::Cost);
+        for order in permutations(4) {
+            assert!(p.best_flops <= chain_flops(&ranks, &counts, &order).0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_kicks_in_past_six_modes() {
+        let ranks = vec![4usize; 7];
+        let mut counts = vec![4usize; 7];
+        counts[5] = 1;
+        let p = plan(&ranks, &counts, OrderPolicy::Cost);
+        assert_eq!(p.order[0], 5, "greedy should front the only shrinking mode");
+    }
+
+    #[test]
+    fn flop_model_matches_hand_count() {
+        // Single mode: 2·q·R (a q×R by R dot-product row).
+        let (f, peak) = chain_flops(&[8], &[3], &[0]);
+        assert_eq!(f, 2.0 * 3.0 * 8.0);
+        assert_eq!(peak, 8);
+    }
+}

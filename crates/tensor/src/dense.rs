@@ -128,7 +128,7 @@ impl<T: Scalar> Tensor<T> {
     }
 }
 
-fn sumsq_scaled<T: Scalar>(chunk: &[T]) -> (T, T) {
+pub(crate) fn sumsq_scaled<T: Scalar>(chunk: &[T]) -> (T, T) {
     let mut scale = T::ZERO;
     let mut ssq = T::ONE;
     for &v in chunk {
@@ -147,7 +147,7 @@ fn sumsq_scaled<T: Scalar>(chunk: &[T]) -> (T, T) {
     (scale, ssq)
 }
 
-fn combine_scaled<T: Scalar>(a: (T, T), b: (T, T)) -> (T, T) {
+pub(crate) fn combine_scaled<T: Scalar>(a: (T, T), b: (T, T)) -> (T, T) {
     let ((s1, q1), (s2, q2)) = (a, b);
     if s1 == T::ZERO {
         return (s2, q2);

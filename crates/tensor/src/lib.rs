@@ -11,10 +11,14 @@
 pub mod dims;
 pub mod dense;
 pub mod io;
+pub mod norm;
+pub mod slice;
 pub mod unfold;
 pub mod ttm;
 
 pub use dense::Tensor;
 pub use dims::{linear_index, multi_index, prod_after, prod_before, product};
+pub use norm::FrobAccumulator;
+pub use slice::{hyperslab, SlabSel};
 pub use ttm::{ttm, ttm_chain};
 pub use unfold::Unfolding;

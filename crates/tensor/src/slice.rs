@@ -1,0 +1,155 @@
+//! Hyperslab extraction: copy a strided sub-box out of a dense tensor.
+//!
+//! A hyperslab is described per mode by a `(start, step, count)` triple —
+//! the HDF5 selection model, which subsumes single elements (`count == 1`),
+//! fibers/slices (`step == 1` ranges), and strided downsamples. Extraction
+//! is a pure memory gather: no floating-point operation touches the values,
+//! so a hyperslab of a tensor is bit-identical to the corresponding entries
+//! of the source. The serving layer leans on this to cut query results out
+//! of cached partial contractions without perturbing bits.
+
+use crate::dense::Tensor;
+use crate::dims::prod_before;
+use tucker_linalg::Scalar;
+
+/// Per-mode `(start, step, count)` selection triple.
+pub type SlabSel = (usize, usize, usize);
+
+/// Validate a selection against `dims`, returning the output dimensions.
+///
+/// Panics with a descriptive message on an out-of-bounds or zero-step
+/// selection (callers that serve untrusted queries validate earlier and
+/// return typed errors; this is the internal contract check).
+fn checked_out_dims(dims: &[usize], sel: &[SlabSel]) -> Vec<usize> {
+    assert_eq!(dims.len(), sel.len(), "hyperslab: selection rank mismatch");
+    sel.iter()
+        .zip(dims)
+        .enumerate()
+        .map(|(n, (&(start, step, count), &d))| {
+            assert!(step > 0, "hyperslab: zero step in mode {n}");
+            assert!(count > 0, "hyperslab: empty selection in mode {n}");
+            let last = start + (count - 1) * step;
+            assert!(last < d, "hyperslab: mode {n} selects index {last} of {d}");
+            count
+        })
+        .collect()
+}
+
+/// Extract the hyperslab `sel` of `x` into a new `count_0 × … × count_{N-1}`
+/// tensor. Pure copy — output bits equal input bits.
+pub fn hyperslab<T: Scalar>(x: &Tensor<T>, sel: &[SlabSel]) -> Tensor<T> {
+    let out_dims = checked_out_dims(x.dims(), sel);
+    let n = out_dims.len();
+    let src = x.data();
+    if n == 0 {
+        return Tensor::from_data(&[], vec![src[0]]);
+    }
+    // Input strides (first mode fastest), then the walk strides of the
+    // selection: stepping output mode m by one moves the input pointer by
+    // `step_m · stride_m`.
+    let strides: Vec<usize> = (0..n).map(|m| prod_before(x.dims(), m)).collect();
+    let walk: Vec<usize> = sel.iter().zip(&strides).map(|(&(_, step, _), &s)| step * s).collect();
+    let base: usize = sel.iter().zip(&strides).map(|(&(start, _, _), &s)| start * s).sum();
+
+    let total: usize = out_dims.iter().product();
+    let mut data = Vec::with_capacity(total);
+    let (step0, count0) = (walk[0], out_dims[0]);
+    // Odometer over output modes 1.., innermost mode-0 run unrolled.
+    let mut idx = vec![0usize; n];
+    let mut off = base;
+    loop {
+        if step0 == 1 {
+            data.extend_from_slice(&src[off..off + count0]);
+        } else {
+            let mut p = off;
+            for _ in 0..count0 {
+                data.push(src[p]);
+                p += step0;
+            }
+        }
+        // Advance the outer odometer.
+        let mut m = 1;
+        loop {
+            if m >= n {
+                debug_assert_eq!(data.len(), total);
+                return Tensor::from_data(&out_dims, data);
+            }
+            idx[m] += 1;
+            off += walk[m];
+            if idx[m] < out_dims[m] {
+                break;
+            }
+            off -= out_dims[m] * walk[m];
+            idx[m] = 0;
+            m += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(dims: &[usize]) -> Tensor<f64> {
+        let mut lin = 0usize;
+        Tensor::from_fn(dims, |_| {
+            lin += 1;
+            lin as f64
+        })
+    }
+
+    #[test]
+    fn full_selection_is_identity() {
+        let x = labeled(&[3, 4, 5]);
+        let sel: Vec<SlabSel> = x.dims().iter().map(|&d| (0, 1, d)).collect();
+        assert_eq!(hyperslab(&x, &sel), x);
+    }
+
+    #[test]
+    fn single_element() {
+        let x = labeled(&[3, 4, 5]);
+        let y = hyperslab(&x, &[(2, 1, 1), (3, 1, 1), (4, 1, 1)]);
+        assert_eq!(y.dims(), &[1, 1, 1]);
+        assert_eq!(y.data()[0], x.get(&[2, 3, 4]));
+    }
+
+    #[test]
+    fn contiguous_box_matches_get() {
+        let x = labeled(&[5, 6, 7]);
+        let y = hyperslab(&x, &[(1, 1, 3), (2, 1, 2), (0, 1, 7)]);
+        assert_eq!(y.dims(), &[3, 2, 7]);
+        for i in 0..3 {
+            for j in 0..2 {
+                for k in 0..7 {
+                    assert_eq!(y.get(&[i, j, k]), x.get(&[1 + i, 2 + j, k]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strided_downsample() {
+        let x = labeled(&[8, 9]);
+        let y = hyperslab(&x, &[(1, 3, 3), (0, 4, 3)]);
+        assert_eq!(y.dims(), &[3, 3]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(y.get(&[i, j]), x.get(&[1 + 3 * i, 4 * j]));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_tensor_slab() {
+        let x = Tensor::<f64>::from_fn(&[], |_| 3.25);
+        let y = hyperslab(&x, &[]);
+        assert_eq!(y.data(), &[3.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode 1 selects index 9")]
+    fn out_of_bounds_panics_with_mode() {
+        let x = labeled(&[4, 4]);
+        hyperslab(&x, &[(0, 1, 4), (3, 2, 4)]);
+    }
+}

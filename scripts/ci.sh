@@ -86,3 +86,34 @@ names = {r["bench"] for r in recs}
 assert {"sim_sthosvd_metrics_off", "sim_sthosvd_metrics_on", "metrics_overhead"} <= names, names
 print("metrics overhead smoke: records OK")
 PY
+
+# Serve smoke: build a store, serve three verified queries from it (each
+# checked bit-exact against a full reconstruction in-process), stream the
+# blockwise error against the store, and run the serving benchmark with
+# its schema check. The speedup gate is virtual-time, so it holds even in
+# --quick mode.
+serve_tns="$ckpt/serve.tns"
+serve_tkr="$ckpt/serve.tkr"
+"$tucker" generate "$serve_tns" --kind random --dims 24x16x12 --seed 9
+"$tucker" compress "$serve_tns" "$serve_tkr" --ranks 6x5x4
+"$tucker" query "$serve_tkr" --slab '3,4,5' --verify
+"$tucker" query "$serve_tkr" --slab '*,4,*' --verify
+"$tucker" query "$serve_tkr" --slab '0:24:3,2:8,*' --verify --no-cache
+"$tucker" error "$serve_tns" "$serve_tkr"
+serve_json="$ckpt/bench_pr5_smoke.json"
+target/release/bench serve --quick --out "$serve_json"
+python3 - "$serve_json" <<'PY'
+import json, math, sys
+r = json.load(open(sys.argv[1]))
+for key in ("bench", "shape", "ranks", "queries", "naive_busy_s", "batched_busy_s",
+            "speedup", "p50_ms", "p99_ms", "throughput_qps", "mean_batch",
+            "cache_hits", "cache_misses", "overload_completed", "overload_rejected"):
+    assert key in r, f"missing key {key}: {r}"
+assert r["bench"] == "serve"
+assert r["speedup"] >= 2.0, f"speedup gate: {r['speedup']}"
+assert r["overload_rejected"] > 0, "overload run shed no load"
+assert r["overload_completed"] + r["overload_rejected"] == r["queries"], "lost requests"
+for key in ("naive_busy_s", "batched_busy_s", "p50_ms", "p99_ms", "throughput_qps"):
+    assert math.isfinite(r[key]) and r[key] > 0, f"degenerate {key}: {r[key]}"
+print("serve smoke: verified queries + schema-valid benchmark OK")
+PY
