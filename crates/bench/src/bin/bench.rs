@@ -1,8 +1,9 @@
 //! `bench kernels` — the repo's perf baseline (DESIGN.md §10).
 //!
 //! Measures the hot kernels (GEMM against the pre-PR3 reference engine,
-//! SYRK, mixed-precision SYRK, TTM, blocked LQ) plus full serial ST-HOSVD
-//! wall time, and writes the records to `BENCH_pr3.json` (override with
+//! SYRK, mixed-precision SYRK, TTM, the blocked factorizations LQ/QR against
+//! the unblocked LQ reference, bidiagonal SVD) plus full serial ST-HOSVD
+//! wall time, and writes the records to `BENCH_pr6.json` (override with
 //! `--out`). Every record is `{bench, shape, precision, gflops|ms}`.
 //!
 //! `bench metrics-overhead` — the PR4 observability gate (DESIGN.md §11):
@@ -17,16 +18,21 @@
 //! numbers carry no host noise.
 //!
 //! `--quick` shrinks the shapes for the CI smoke run (`scripts/ci.sh`);
-//! full mode additionally enforces the PR3 acceptance gate: the
+//! full mode additionally enforces the PR3 acceptance gate (the
 //! register-tiled engine must beat the reference GEMM by ≥2x at the
-//! short-fat shape, measured in the same run. Either mode fails (non-zero
-//! exit) on a NaN, infinite, or zero throughput reading.
+//! short-fat shape) and the PR6 gate (the blocked compact-WY LQ must beat
+//! the unblocked reference by ≥4x), both measured in the same run. Either
+//! mode fails (non-zero exit) on a NaN, infinite, or zero throughput
+//! reading.
 
 use std::time::Instant;
 use tucker_core::{sthosvd_parallel, sthosvd_with_info, SthosvdConfig, SvdMethod};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
+use tucker_linalg::blocked_qr::DEFAULT_BLOCK;
+use tucker_linalg::lq::{gelqf_unblocked, lq_l_padded};
 use tucker_linalg::{
-    gemm, gemm_reference, lq_factor_blocked, syrk_lower, syrk_lower_f64_acc, Matrix, Scalar,
+    gemm, gemm_reference, geqrf_blocked, lq_factor_blocked, syrk_lower, syrk_lower_f64_acc,
+    Matrix, Scalar,
 };
 use tucker_mpisim::{CostModel, Simulator};
 use tucker_tensor::{ttm, Tensor};
@@ -150,19 +156,69 @@ fn bench_ttm<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
     });
 }
 
-/// Blocked LQ of a short-fat unfolding (the QR-SVD path's kernel).
-fn bench_lq<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+/// Blocked LQ of a short-fat unfolding (the QR-SVD path's kernel) against the
+/// pre-PR6 unblocked reference, same matrix, same run. Returns
+/// `(gflops_blocked, gflops_reference)` for the full-mode ≥4x gate.
+fn bench_lq<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) -> (f64, f64) {
     let (m, n) = if quick { (128, 4096) } else { (256, 16384) };
     let a = Matrix::<T>::from_fn(m, n, |i, j| deterministic(6, i, j));
     let flops = 2.0 * (m * m) as f64 * n as f64;
-    let t = time_best(2, || {
-        std::hint::black_box(lq_factor_blocked(a.as_ref(), 64));
+    let t_new = time_best(2, || {
+        std::hint::black_box(lq_factor_blocked(a.as_ref(), DEFAULT_BLOCK));
     });
+    let t_ref = time_best(2, || {
+        // Same driver shape as lq_factor_blocked: copy, factor, extract L.
+        let mut work = a.as_ref().to_matrix();
+        gelqf_unblocked(&mut work.as_mut());
+        std::hint::black_box(lq_l_padded(work.as_ref()));
+    });
+    let (g_new, g_ref) = (flops / t_new / 1e9, flops / t_ref / 1e9);
     recs.push(Rec {
         bench: "lq".into(),
         shape: format!("{m}x{n}"),
         precision: T::PRECISION_NAME,
+        metric: ("gflops", g_new),
+    });
+    recs.push(Rec {
+        bench: "lq_reference".into(),
+        shape: format!("{m}x{n}"),
+        precision: T::PRECISION_NAME,
+        metric: ("gflops", g_ref),
+    });
+    (g_new, g_ref)
+}
+
+/// Blocked QR of a tall-skinny matrix (the TSQR leaf kernel), natively
+/// column-contiguous — no transpose workspace on this path.
+fn bench_qr<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+    let (m, n) = if quick { (4096, 128) } else { (16384, 256) };
+    let a = Matrix::<T>::from_fn(m, n, |i, j| deterministic(8, i, j));
+    let flops = 2.0 * m as f64 * (n * n) as f64 - 2.0 / 3.0 * (n * n * n) as f64;
+    let t = time_best(2, || {
+        let mut work = a.clone();
+        std::hint::black_box(geqrf_blocked(&mut work.as_mut(), DEFAULT_BLOCK));
+    });
+    recs.push(Rec {
+        bench: "qr".into(),
+        shape: format!("{m}x{n}"),
+        precision: T::PRECISION_NAME,
         metric: ("gflops", flops / t / 1e9),
+    });
+}
+
+/// Full SVD (blocked bidiagonalization + implicit-QR sweeps with the
+/// parallel back-transformation), singular vectors included.
+fn bench_bidiag_svd<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
+    let k = if quick { 96 } else { 256 };
+    let a = Matrix::<T>::from_fn(k, k, |i, j| deterministic(9, i, j));
+    let t = time_best(2, || {
+        std::hint::black_box(tucker_linalg::svd::svd(a.as_ref(), true, true).expect("svd"));
+    });
+    recs.push(Rec {
+        bench: "bidiag_svd".into(),
+        shape: format!("{k}x{k}"),
+        precision: T::PRECISION_NAME,
+        metric: ("ms", t * 1e3),
     });
 }
 
@@ -342,7 +398,7 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let mut out_path = match sub {
-        Some("kernels") => "BENCH_pr3.json",
+        Some("kernels") => "BENCH_pr6.json",
         Some("serve") => "BENCH_pr5.json",
         _ => "BENCH_pr4.json",
     }
@@ -368,8 +424,12 @@ fn main() {
     bench_syrk::<f32>(quick, &mut recs);
     bench_ttm::<f64>(quick, &mut recs);
     bench_ttm::<f32>(quick, &mut recs);
-    bench_lq::<f64>(quick, &mut recs);
-    bench_lq::<f32>(quick, &mut recs);
+    let (l64, lr64) = bench_lq::<f64>(quick, &mut recs);
+    let (l32, lr32) = bench_lq::<f32>(quick, &mut recs);
+    bench_qr::<f64>(quick, &mut recs);
+    bench_qr::<f32>(quick, &mut recs);
+    bench_bidiag_svd::<f64>(quick, &mut recs);
+    bench_bidiag_svd::<f32>(quick, &mut recs);
     bench_sthosvd::<f64>(quick, &mut recs);
     bench_sthosvd::<f32>(quick, &mut recs);
 
@@ -392,6 +452,20 @@ fn main() {
     if !quick && g64 < 2.0 * r64 {
         eprintln!(
             "bench kernels: tiled GEMM {g64:.2} GF/s is below 2x the reference {r64:.2} GF/s"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "lq vs reference: double {:.2}x ({l64:.2} / {lr64:.2} GF/s), single {:.2}x ({l32:.2} / {lr32:.2} GF/s)",
+        l64 / lr64,
+        l32 / lr32
+    );
+    // PR6 acceptance gate, full mode only (same reasoning as the GEMM gate):
+    // the blocked compact-WY LQ must beat the unblocked reference by ≥4x at
+    // the short-fat unfolding shape, measured in the same run.
+    if !quick && l64 < 4.0 * lr64 {
+        eprintln!(
+            "bench kernels: blocked LQ {l64:.2} GF/s is below 4x the reference {lr64:.2} GF/s"
         );
         std::process::exit(1);
     }

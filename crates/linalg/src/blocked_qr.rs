@@ -2,25 +2,47 @@
 //! (`H_0 H_1 ··· H_{k-1} = I − V·T·Vᵀ`, LAPACK `larft`/`larfb`).
 //!
 //! The unblocked factorization applies each reflector with matrix-vector
-//! work (low arithmetic intensity). Blocking rebuilds the trailing update
-//! from three GEMMs — what MKL's `geqr`/`gelq` drivers do internally on the
-//! paper's machines — and pays off for *tall-dense* factorizations with many
-//! columns. For the short-fat unfoldings of ST-HOSVD (`m ≤` a few hundred,
-//! so only a handful of panels) the measured result is the opposite: the
-//! layout-aware unblocked kernel wins (see the `kernels` bench,
-//! `gelqf` vs `gelqf_blocked`), which is why the ST-HOSVD drivers keep the
-//! unblocked path. This mirrors the paper's §4.2.1 observation that the
-//! TSQR-based LAPACK subroutines were not consistently faster than the
-//! drivers either.
+//! work (low arithmetic intensity); on the 256 × 16384 unfoldings the
+//! ST-HOSVD drivers produce it is memory bound at a few GFLOP/s. This module
+//! rebuilds the hot path so that ~90% of the flops run through the
+//! register-tiled GEMM engine of `crate::kernel`:
+//!
+//! * **Panels** are factored by halving recursion (width `nb` → `nb/2` →
+//!   … → 8, then unblocked), always on *column-contiguous* storage: the LQ
+//!   driver first transposes the short-fat input into an owned column-major
+//!   workspace (a cache-blocked O(mn) copy), so every reflector apply is a
+//!   single pass over contiguous columns instead of the two-pass row-major
+//!   streams of the transposed-view trick.
+//! * The **`T` factor** (`larft`) gets its panel Gram matrix `VᵀV` from the
+//!   tiled SYRK; only the tiny `k × k` recurrence remains scalar.
+//! * **Trailing updates** `C ← C − V·Tᵀ·(VᵀC)` consume the factored panel in
+//!   place (`V2`, the rectangular bulk of `V`, is a view into the workspace;
+//!   only the jb×jb unit triangle `V1` is copied): the wide `V2ᵀC` runs
+//!   through [`gemm_into`] (parallel, deterministic) and the rank-`nb`
+//!   accumulate through [`gemm_par`], which fans fixed-width column panels
+//!   out over rayon. Panel boundaries are constants, each panel is computed
+//!   by the same serial engine over the full inner dimension, so the result
+//!   is bit-identical for every thread count — the invariant gemm/syrk
+//!   already satisfy.
+//!
+//! Degenerate shapes (a single panel, `nb ≤ 1`, or an empty trailing block)
+//! delegate to the unblocked path and are therefore *bitwise* identical to
+//! the serial reference, which keeps the TSLQ tree reductions reproducible
+//! regardless of which side of the blocking threshold a leaf lands on.
 
-use crate::gemm::{gemm_into, Trans};
+use crate::gemm::{gemm, gemm_into, gemm_par, Trans};
 use crate::matrix::Matrix;
-use crate::qr::geqrf;
 use crate::scalar::Scalar;
-use crate::view::MatMut;
+use crate::view::{MatMut, MatRef};
 
-/// Default panel width.
-pub const DEFAULT_BLOCK: usize = 32;
+/// Default panel width (tuned on the 256 × 16384 ST-HOSVD unfolding shape:
+/// wide enough that the trailing GEMMs amortize their C-tile traffic over a
+/// long inner dimension, while the halving recursion keeps the panel's own
+/// factorization out of the unblocked reflector streams).
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// Edge length of the cache-blocked transpose copies.
+const TRANSPOSE_TILE: usize = 128;
 
 /// Blocked in-place Householder QR. Identical output convention to
 /// [`crate::qr::geqrf`] (R in the upper triangle, reflector tails below,
@@ -32,51 +54,59 @@ pub fn geqrf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
 
 /// Body of [`geqrf_blocked`], split out of the perf-collector frame; the
 /// panel `geqrf`s and trailing-update GEMMs inside are depth-guarded.
-fn geqrf_blocked_impl<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
+pub(crate) fn geqrf_blocked_impl<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
     let m = a.rows();
     let n = a.cols();
     let k = m.min(n);
-    assert!(nb >= 1);
+    // Degenerate shapes — a single panel covers every reflector, or blocking
+    // is disabled — take the unblocked path on the same view, so blocked and
+    // unblocked agree bit for bit (not just to roundoff).
+    if nb <= 1 || k <= nb {
+        return crate::qr::geqrf_impl(a);
+    }
     let mut taus = vec![T::ZERO; k];
     let mut j = 0;
     while j < k {
         let jb = nb.min(k - j);
-        // Factor the panel A[j.., j..j+jb] unblocked.
+        let pm = m - j;
+        // Factor the panel A[j.., j..j+jb] recursively with a half-width
+        // inner panel, so most of the panel's own trailing work runs through
+        // the GEMM engine too (the recursion bottoms out in geqrf_impl at
+        // width 8, keeping unblocked reflector streams to a sliver of the
+        // flops).
         let ptaus = {
-            let mut panel = a.submatrix_mut(j, j, m - j, jb);
-            geqrf(&mut panel)
+            let mut panel = a.submatrix_mut(j, j, pm, jb);
+            if nb / 2 >= 8 {
+                geqrf_blocked_impl(&mut panel, nb / 2)
+            } else {
+                crate::qr::geqrf_impl(&mut panel)
+            }
         };
         taus[j..j + jb].copy_from_slice(&ptaus);
 
-        if j + jb < n {
-            let pm = m - j;
-            // Explicit unit-lower-trapezoidal V from the panel.
-            let mut v = Matrix::<T>::zeros(pm, jb);
-            {
-                let pv = a.rb();
-                let panel = pv.submatrix(j, j, pm, jb);
-                for c in 0..jb {
-                    v[(c, c)] = T::ONE;
-                    for r in c + 1..pm {
-                        v[(r, c)] = panel.get(r, c);
-                    }
-                }
-            }
-            let t = larft(&v, &ptaus);
-            // Trailing update: C ← (I − V·T·Vᵀ)ᵀ C = C − V·Tᵀ·(Vᵀ C).
-            let nc = n - j - jb;
-            let w = {
-                let cview = a.rb();
-                let c = cview.submatrix(j, j + jb, pm, nc);
-                gemm_into(v.as_ref(), Trans::Yes, c, Trans::No) // jb x nc
-            };
-            let tw = gemm_into(t.as_ref(), Trans::Yes, w.as_ref(), Trans::No); // jb x nc
-            let vtw = gemm_into(v.as_ref(), Trans::No, tw.as_ref(), Trans::No); // pm x nc
-            let mut c = a.submatrix_mut(j, j + jb, pm, nc);
-            for jj in 0..nc {
-                for ii in 0..pm {
-                    c.update(ii, jj, |x| x - vtw[(ii, jj)]);
-                }
+        let nc = n - j - jb;
+        if nc > 0 {
+            if a.col_contiguous() {
+                // The factored panel (read) and the trailing block (write)
+                // occupy disjoint column ranges of the column-contiguous
+                // buffer, so a split lets the update consume the panel in
+                // place — no pm×jb copy of V.
+                let ld = a.col_stride();
+                let data = a.data_mut();
+                let (left, right) = data.split_at_mut((j + jb) * ld);
+                let panel = MatRef::strided(&left[j * ld + j..], pm, jb, 1, ld);
+                let mut c =
+                    MatMut::strided(&mut right[j..j + (nc - 1) * ld + pm], pm, nc, 1, ld);
+                wy_update(panel, &ptaus, &mut c);
+            } else {
+                // Strided input (e.g. a row-major view): copy the panel out
+                // once; wy_update never reads its upper triangle.
+                let panel = {
+                    let pv = a.rb();
+                    pv.submatrix(j, j, pm, jb).to_matrix()
+                };
+                let mut c = a.submatrix_mut(j, j + jb, pm, nc);
+                wy_update(panel.as_ref(), &ptaus, &mut c);
             }
         }
         j += jb;
@@ -84,20 +114,198 @@ fn geqrf_blocked_impl<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
     taus
 }
 
-/// Blocked in-place Householder LQ (blocked QR of the transposed view).
+/// Blocked in-place Householder LQ. Same output convention as
+/// [`crate::lq::gelqf`] (`L` in the lower triangle, reflector tails above).
+///
+/// The input is transposed into an owned column-major workspace, factored by
+/// the blocked QR above, and transposed back — two cache-blocked O(mn)
+/// copies that buy column-contiguous panels and GEMM trailing updates, which
+/// is what lifts the hot 256 × 16384 shape from memory-bound reflector
+/// streams to near-GEMM throughput.
 pub fn gelqf_blocked<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
     let flops = crate::perf::qr_flops(a.cols(), a.rows());
-    crate::perf::with_kernel("lq", flops, 0, || {
+    crate::perf::with_kernel("lq", flops, 0, || gelqf_blocked_impl(a, nb))
+}
+
+/// Body of [`gelqf_blocked`], outside the perf frame.
+pub(crate) fn gelqf_blocked_impl<T: Scalar>(a: &mut MatMut<'_, T>, nb: usize) -> Vec<T> {
+    let k = a.rows().min(a.cols());
+    // Degenerate shapes (fewer reflectors than one panel — "rows < panel
+    // width" for the short-fat LQ — or blocking disabled) delegate to the
+    // transposed-view unblocked path: bitwise the serial reference.
+    if nb <= 1 || k <= nb {
         let mut at = a.t_mut();
-        geqrf_blocked(&mut at, nb)
-    })
+        return crate::qr::geqrf_impl(&mut at);
+    }
+    let mut work = transposed_matrix(a.rb());
+    let taus = geqrf_blocked_impl(&mut work.as_mut(), nb);
+    transpose_into(work.as_ref(), a);
+    taus
+}
+
+/// Owned column-major transpose of a view (cache-blocked copy).
+pub(crate) fn transposed_matrix<T: Scalar>(a: MatRef<'_, T>) -> Matrix<T> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut out = Matrix::<T>::zeros(n, m);
+    transpose_into(a, &mut out.as_mut());
+    out
+}
+
+/// `dst ← srcᵀ`, tiled so both sides stay cache-resident (a strided
+/// straight-line copy touches one cache line per element; the tiles cut that
+/// to one line per [`TRANSPOSE_TILE`] elements on the strided side).
+///
+/// When both sides are column-contiguous (the owned workspaces of the LQ
+/// driver always are) the tile interior runs on raw slices — the strided
+/// `get`/`set` path costs an indexing multiply and a bounds check per
+/// element, which made the two 32 MB copies of the hot LQ shape cost more
+/// than the panel factorizations they were buying.
+pub(crate) fn transpose_into<T: Scalar>(src: MatRef<'_, T>, dst: &mut MatMut<'_, T>) {
+    let (m, n) = (src.rows(), src.cols());
+    assert_eq!((dst.rows(), dst.cols()), (n, m), "transpose_into: shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Mixed layouts transpose by straight memcpy: row i of a row-contiguous
+    // src IS column i of a col-contiguous dst (and vice versa) — the case a
+    // row-major unfolding view hits on its way into the column-major QR
+    // workspace.
+    if src.row_contiguous() && dst.col_contiguous() {
+        let srs = src.row_stride();
+        let dcs = dst.col_stride();
+        let s = src.data();
+        let d = dst.data_mut();
+        for i in 0..m {
+            d[i * dcs..i * dcs + n].copy_from_slice(&s[i * srs..i * srs + n]);
+        }
+        return;
+    }
+    if src.col_contiguous() && dst.row_contiguous() {
+        let scs = src.col_stride();
+        let drs = dst.row_stride();
+        let s = src.data();
+        let d = dst.data_mut();
+        for j in 0..n {
+            d[j * drs..j * drs + m].copy_from_slice(&s[j * scs..j * scs + m]);
+        }
+        return;
+    }
+    if src.col_contiguous() && dst.col_contiguous() {
+        let scs = src.col_stride();
+        let dcs = dst.col_stride();
+        let s = src.data();
+        let d = dst.data_mut();
+        // Two-phase tiles through an L1-resident scratch block: gather the
+        // tile with contiguous column memcpys, then scatter with contiguous
+        // writes into dst columns. Both DRAM streams stay sequential; the
+        // only strided accesses land in the scratch buffer.
+        // Heap, not a stack array: the tile is 128 KiB at f64.
+        #[allow(clippy::useless_vec)]
+        let mut scratch = vec![T::ZERO; TRANSPOSE_TILE * TRANSPOSE_TILE];
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = TRANSPOSE_TILE.min(m - i0);
+            let mut j0 = 0;
+            while j0 < n {
+                let jb = TRANSPOSE_TILE.min(n - j0);
+                for jj in 0..jb {
+                    let off = (j0 + jj) * scs + i0;
+                    scratch[jj * ib..jj * ib + ib].copy_from_slice(&s[off..off + ib]);
+                }
+                for t in 0..ib {
+                    let dcol = &mut d[(i0 + t) * dcs + j0..(i0 + t) * dcs + j0 + jb];
+                    for (jj, x) in dcol.iter_mut().enumerate() {
+                        *x = scratch[jj * ib + t];
+                    }
+                }
+                j0 += jb;
+            }
+            i0 += ib;
+        }
+        return;
+    }
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = TRANSPOSE_TILE.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = TRANSPOSE_TILE.min(n - j0);
+            for i in i0..i0 + ib {
+                for j in j0..j0 + jb {
+                    dst.set(j, i, src.get(i, j));
+                }
+            }
+            j0 += jb;
+        }
+        i0 += ib;
+    }
+}
+
+/// Compact-WY trailing update `C ← (I − V·T·Vᵀ)ᵀ C = C − V·Tᵀ·(VᵀC)`
+/// (LAPACK `larfb`, forward columnwise, applied from the left).
+///
+/// `panel` is the factored panel: reflector tails in the strict lower part
+/// (the upper triangle — `R` — is never read). `V` is split as
+/// `[V1; V2]` with `V1` the jb×jb unit lower triangle (a tiny explicit copy)
+/// and `V2` the rectangular remainder, consumed *in place* as a view — the
+/// previous build materialized the whole pm×jb `V`, which cost a zero-fill
+/// plus a copy per panel on a path that is otherwise pure GEMM.
+fn wy_update<T: Scalar>(panel: MatRef<'_, T>, taus: &[T], c: &mut MatMut<'_, T>) {
+    let pm = panel.rows();
+    let jb = panel.cols();
+    let nc = c.cols();
+    debug_assert_eq!(c.rows(), pm);
+    let mut v1 = Matrix::<T>::zeros(jb, jb);
+    for cc in 0..jb {
+        v1[(cc, cc)] = T::ONE;
+        for r in cc + 1..jb {
+            v1[(r, cc)] = panel.get(r, cc);
+        }
+    }
+    let m2 = pm - jb;
+    let v2 = panel.submatrix(jb, 0, m2, jb);
+    // Gram matrix G = VᵀV = V1ᵀV1 + V2ᵀV2: the panel-length dot products go
+    // through the tiled SYRK (they are half the larft flops and were the
+    // scalar bottleneck of the unblocked build); the jb×jb triangle through
+    // a small GEMM. Only the lower part of G is read by the recurrence.
+    let mut g = if m2 > 0 {
+        crate::syrk::syrk_lower(v2.t())
+    } else {
+        Matrix::<T>::zeros(jb, jb)
+    };
+    gemm(T::ONE, v1.as_ref().t(), v1.as_ref(), T::ONE, &mut g.as_mut());
+    let t = larft_from_gram(&g, taus);
+    // W = VᵀC: the wide GEMM on V2 plus the small triangular correction.
+    let mut w = {
+        let cv = c.rb();
+        if m2 > 0 {
+            gemm_into(v2, Trans::Yes, cv.submatrix(jb, 0, m2, nc), Trans::No) // jb x nc
+        } else {
+            Matrix::<T>::zeros(jb, nc)
+        }
+    };
+    {
+        let cv = c.rb();
+        gemm(T::ONE, v1.as_ref().t(), cv.submatrix(0, 0, jb, nc), T::ONE, &mut w.as_mut());
+    }
+    // X = TᵀW (tiny), then the rank-jb accumulate C ← C − V·X in place.
+    let x = gemm_into(t.as_ref(), Trans::Yes, w.as_ref(), Trans::No); // jb x nc
+    {
+        let mut c1 = c.submatrix_mut(0, 0, jb, nc);
+        gemm(-T::ONE, v1.as_ref(), x.as_ref(), T::ONE, &mut c1);
+    }
+    if m2 > 0 {
+        let mut c2 = c.submatrix_mut(jb, 0, m2, nc);
+        gemm_par(-T::ONE, v2, x.as_ref(), &mut c2);
+    }
 }
 
 /// Form the upper-triangular `T` of the compact WY representation
-/// (LAPACK `larft`, forward columnwise): `H_0···H_{k-1} = I − V·T·Vᵀ`.
-fn larft<T: Scalar>(v: &Matrix<T>, taus: &[T]) -> Matrix<T> {
+/// (LAPACK `larft`, forward columnwise, `H_0···H_{k-1} = I − V·T·Vᵀ`) from
+/// the precomputed Gram matrix `G = VᵀV` (lower part): the `k × k`
+/// recurrence `T[0..i, i] = −τᵢ·T[0..i, 0..i]·G[i, 0..i]ᵀ` stays scalar.
+fn larft_from_gram<T: Scalar>(g: &Matrix<T>, taus: &[T]) -> Matrix<T> {
     let k = taus.len();
-    let m = v.rows();
     let mut t = Matrix::<T>::zeros(k, k);
     for i in 0..k {
         let tau = taus[i];
@@ -105,22 +313,10 @@ fn larft<T: Scalar>(v: &Matrix<T>, taus: &[T]) -> Matrix<T> {
         if i == 0 || tau == T::ZERO {
             continue;
         }
-        // w = V[:, 0..i]ᵀ v_i
-        let mut w = vec![T::ZERO; i];
-        for c in 0..i {
-            let mut acc = T::ZERO;
-            let vc = v.col(c);
-            let vi = v.col(i);
-            for r in 0..m {
-                acc += vc[r] * vi[r];
-            }
-            w[c] = acc;
-        }
-        // T[0..i, i] = −tau · T[0..i, 0..i] · w  (T upper triangular).
         for r in 0..i {
             let mut acc = T::ZERO;
             for c in r..i {
-                acc += t[(r, c)] * w[c];
+                acc += t[(r, c)] * g[(i, c)];
             }
             t[(r, i)] = -tau * acc;
         }
@@ -130,16 +326,33 @@ fn larft<T: Scalar>(v: &Matrix<T>, taus: &[T]) -> Matrix<T> {
 
 /// Convenience: blocked LQ factor `L` (zero-padded square), matching
 /// [`crate::lq::lq_factor`].
+///
+/// Unlike the in-place [`gelqf_blocked`], only `L` is needed here, so the
+/// copy-in and the transpose-back are skipped: the input is transposed once
+/// into the column-major QR workspace and `L = Rᵀ` is read straight out of
+/// its upper triangle — identical bits to extracting from the transposed-back
+/// factorization, at half the O(mn) copy traffic.
 pub fn lq_factor_blocked<T: Scalar>(a: crate::view::MatRef<'_, T>, nb: usize) -> Matrix<T> {
-    let mut work = a.to_matrix();
-    gelqf_blocked(&mut work.as_mut(), nb);
-    crate::lq::lq_l_padded(work.as_ref())
+    let (m, n) = (a.rows(), a.cols());
+    let k = m.min(n);
+    if nb <= 1 || k <= nb {
+        // Degenerate shapes keep the exact gelqf_blocked delegation chain so
+        // the result stays bitwise the unblocked reference.
+        let mut work = a.to_matrix();
+        gelqf_blocked(&mut work.as_mut(), nb);
+        return crate::lq::lq_l_padded(work.as_ref());
+    }
+    crate::perf::with_kernel("lq", crate::perf::qr_flops(n, m), 0, || {
+        let mut work = transposed_matrix(a); // n x m
+        let _taus = geqrf_blocked_impl(&mut work.as_mut(), nb);
+        Matrix::from_fn(m, m, |i, j| if j <= i && j < n { work[(j, i)] } else { T::ZERO })
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lq::lq_factor;
+    use crate::lq::{gelqf_unblocked, lq_factor};
     use crate::qr::{form_q, qr_r};
     use crate::syrk::syrk_lower;
     use crate::view::MatRef;
@@ -201,6 +414,43 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_shapes_are_bitwise_unblocked() {
+        // Single panel (k ≤ nb), single-column panels (nb = 1), and rows
+        // shorter than the panel width must reproduce the unblocked
+        // factorization exactly — same bits, not just same math.
+        for (m, n, nb, seed) in
+            [(40usize, 8usize, 8usize, 10u64), (6, 30, 32, 11), (1, 17, 4, 12), (5, 5, 1, 13)]
+        {
+            let a = pseudo(m, n, seed);
+            let mut wq_b = a.clone();
+            let tq_b = geqrf_blocked(&mut wq_b.as_mut(), nb);
+            let mut wq_u = a.clone();
+            let tq_u = crate::qr::geqrf(&mut wq_u.as_mut());
+            assert_eq!(wq_b.data(), wq_u.data(), "qr data {m}x{n} nb={nb}");
+            assert_eq!(tq_b, tq_u, "qr taus {m}x{n} nb={nb}");
+
+            let mut wl_b = a.clone();
+            let tl_b = gelqf_blocked(&mut wl_b.as_mut(), nb);
+            let mut wl_u = a.clone();
+            let tl_u = gelqf_unblocked(&mut wl_u.as_mut());
+            assert_eq!(wl_b.data(), wl_u.data(), "lq data {m}x{n} nb={nb}");
+            assert_eq!(tl_b, tl_u, "lq taus {m}x{n} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn zero_size_trailing_block() {
+        // k an exact multiple of nb: the final panel has an empty trailing
+        // block, which must be skipped cleanly.
+        check_qr(&pseudo(48, 16, 14), 8);
+        let a = pseudo(8, 64, 15);
+        let l = lq_factor_blocked(a.as_ref(), 4);
+        let llt = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+        let aat = syrk_lower(a.as_ref());
+        assert!(llt.max_abs_diff(&aat) < 1e-11);
+    }
+
+    #[test]
     fn blocked_lq_gram_invariant() {
         let a = pseudo(24, 200, 6);
         let l = lq_factor_blocked(a.as_ref(), 8);
@@ -232,9 +482,95 @@ mod tests {
     }
 
     #[test]
+    fn transpose_helpers_roundtrip() {
+        let a = pseudo(70, 130, 8); // crosses tile boundaries in both dims
+        let at = transposed_matrix(a.as_ref());
+        assert_eq!(at.shape(), (130, 70));
+        for i in 0..70 {
+            for j in 0..130 {
+                assert_eq!(at[(j, i)], a[(i, j)]);
+            }
+        }
+        let mut back = Matrix::<f64>::zeros(70, 130);
+        transpose_into(at.as_ref(), &mut back.as_mut());
+        assert_eq!(back.data(), a.data());
+    }
+
+    #[test]
     fn gemm_helper_sanity() {
         let i = Matrix::<f64>::identity(3);
         let out = gemm_into(i.as_ref(), Trans::No, i.as_ref(), Trans::No);
         assert!(out.max_abs_diff(&i) < 1e-15);
+    }
+
+    #[test]
+    #[ignore = "manual tuning harness; run with --release -- --ignored --nocapture"]
+    fn tune_lq_components() {
+        let (m, n) = (16384usize, 256usize);
+        let nb = 32usize;
+        let a = pseudo(m, n, 22);
+        let time3 = |f: &mut dyn FnMut()| {
+            f();
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                f();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            best
+        };
+        // Panel factorization (first panel, the tallest).
+        let t_panel = time3(&mut || {
+            let mut p = Matrix::from_fn(m, nb, |i, j| a[(i, j)]);
+            std::hint::black_box(geqrf_blocked_impl(&mut p.as_mut(), nb / 4));
+        });
+        // larft (Gram + recurrence).
+        let v = Matrix::from_fn(m, nb, |i, j| if i == j { 1.0 } else if i > j { a[(i, j)] } else { 0.0 });
+        let taus = vec![0.5f64; nb];
+        let t_larft = time3(&mut || {
+            let g = syrk_lower(v.as_ref().t());
+            std::hint::black_box(larft_from_gram(&g, &taus));
+        });
+        // W = Vᵀ C (widest trailing GEMM).
+        let nc = n - nb;
+        let t_w = time3(&mut || {
+            let c = a.as_ref();
+            let c = c.submatrix(0, nb, m, nc);
+            std::hint::black_box(gemm_into(v.as_ref(), Trans::Yes, c, Trans::No));
+        });
+        // Rank-nb accumulate C -= V X.
+        let x = pseudo(nb, nc, 23);
+        let mut cwork = a.clone();
+        let t_rank = time3(&mut || {
+            let mut cm = cwork.as_mut();
+            let mut c = cm.submatrix_mut(0, nb, m, nc);
+            gemm_par(-1.0, v.as_ref(), x.as_ref(), &mut c);
+        });
+        // Transpose there and back (the LQ workspace overhead).
+        let wide = pseudo(n, m, 24);
+        let t_tr = time3(&mut || {
+            let mut back = wide.clone();
+            let w = transposed_matrix(wide.as_ref());
+            transpose_into(w.as_ref(), &mut back.as_mut());
+            std::hint::black_box(back);
+        });
+        println!("panel(16384x32) {:.2} ms | larft {:.2} ms | W gemm {:.2} ms | rank-nb {:.2} ms | transposes {:.2} ms", t_panel * 1e3, t_larft * 1e3, t_w * 1e3, t_rank * 1e3, t_tr * 1e3);
+    }
+
+    #[test]
+    #[ignore = "manual tuning harness; run with --release -- --ignored --nocapture"]
+    fn tune_lq_block_size() {
+        let (m, n) = (256usize, 16384usize);
+        let a = pseudo(m, n, 21);
+        let flops = 2.0 * (m * m) as f64 * n as f64;
+        for nb in [16usize, 24, 32, 48, 64, 96, 128, 160, 192] {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                std::hint::black_box(lq_factor_blocked(a.as_ref(), nb));
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            println!("nb={nb:3}  {:7.3} GF/s  ({:.1} ms)", flops / best / 1e9, best * 1e3);
+        }
     }
 }

@@ -36,6 +36,21 @@ pub fn syev<T: Scalar>(a: &Matrix<T>) -> Result<EigOutput<T>> {
     if n == 0 {
         return Ok(EigOutput { values: vec![], vectors: Matrix::zeros(0, 0) });
     }
+    // Typed guard: a NaN/Inf entry would defeat tql2's negligibility tests
+    // and surface as a NoConvergence abort deep in the iteration; report it
+    // at the boundary instead.
+    for j in 0..n {
+        for i in 0..n {
+            if !a[(i, j)].is_finite() {
+                return Err(LinalgError::NonFinite {
+                    phase: "syev".into(),
+                    rank: 0,
+                    mode: 0,
+                    index: j * n + i,
+                });
+            }
+        }
+    }
     let mut z = a.clone();
     let mut d = vec![T::ZERO; n];
     let mut e = vec![T::ZERO; n];
@@ -326,6 +341,16 @@ mod tests {
     fn non_square_rejected() {
         let a = Matrix::<f64>::zeros(2, 3);
         assert!(syev(&a).is_err());
+    }
+
+    #[test]
+    fn non_finite_input_is_typed_error() {
+        let mut a = pseudo_symmetric(5, 6);
+        a[(2, 2)] = f64::INFINITY;
+        match syev(&a) {
+            Err(crate::error::LinalgError::NonFinite { phase, .. }) => assert_eq!(phase, "syev"),
+            other => panic!("expected NonFinite, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

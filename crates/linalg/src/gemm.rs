@@ -42,6 +42,11 @@ impl Trans {
 /// Problems larger than this many flops use the parallel path in [`gemm_into`].
 const PAR_FLOP_THRESHOLD: usize = 1 << 22;
 
+/// Fixed column-panel width of [`gemm_par`]. A constant (never derived from
+/// the pool size) so that panel boundaries — and therefore the bits of the
+/// result — are identical for every thread count.
+const PAR_COL_CHUNK: usize = 256;
+
 /// `C = beta * C`, walking contiguous column slices when C's columns are
 /// contiguous (the common case) instead of per-element strided index math.
 fn scale_c<T: Scalar>(beta: T, c: &mut MatMut<'_, T>) {
@@ -85,6 +90,53 @@ pub fn gemm<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T, c:
     crate::perf::with_kernel("gemm", flops, crate::perf::gemm_pack_bytes::<T>(m, k, n), || {
         scale_c(beta, c);
         kernel::gemm_blocked(alpha, a, b, c);
+    });
+}
+
+/// `C ← C + alpha·A·B`, parallelized over fixed-width column panels of `C`
+/// when the problem is large enough (and `C`'s columns are contiguous).
+///
+/// This is the accumulate counterpart of [`gemm_into`] for callers that
+/// update a submatrix in place — the compact-WY trailing updates of the
+/// blocked QR/LQ and the band updates of the blocked bidiagonalization.
+/// Each panel is produced by the serial register-tiled [`gemm`] over the
+/// full inner dimension, and the panel boundaries are a fixed constant
+/// ([`PAR_COL_CHUNK`]) independent of the pool size, so the result is
+/// bit-identical to the serial `gemm(alpha, a, b, ONE, c)` for any thread
+/// count — the same determinism contract `gemm_into` satisfies.
+pub fn gemm_par<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "gemm_par: inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n), "gemm_par: output shape mismatch");
+    let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
+    if flops < PAR_FLOP_THRESHOLD
+        || rayon::current_num_threads() <= 1
+        || n <= PAR_COL_CHUNK
+        || !c.col_contiguous()
+        || m == 0
+    {
+        return gemm(alpha, a, b, T::ONE, c);
+    }
+    let ld = c.col_stride();
+    // A column panel [j0, j0+w) of a column-contiguous view occupies the
+    // contiguous buffer range [j0·ld, (j0+w−1)·ld + m): whole panels are
+    // disjoint `&mut` chunks rayon can own. The buffer may extend past the
+    // last viewed element (views sliced out of a larger parent), so chunks
+    // beyond column n are left untouched.
+    crate::perf::with_kernel("gemm", flops as u64, crate::perf::gemm_pack_bytes::<T>(m, k, n), || {
+        c.data_mut().par_chunks_mut(PAR_COL_CHUNK * ld).enumerate().for_each(|(p, chunk)| {
+            let j0 = p * PAR_COL_CHUNK;
+            if j0 >= n {
+                return;
+            }
+            let nb = PAR_COL_CHUNK.min(n - j0);
+            let len = (nb - 1) * ld + m;
+            let mut csub = MatMut::strided(&mut chunk[..len], m, nb, 1, ld);
+            // The nested serial gemm frames are depth-guarded: this function
+            // records the logical accumulate exactly once.
+            gemm(alpha, a, b.submatrix(0, j0, k, nb), T::ONE, &mut csub);
+        });
     });
 }
 

@@ -57,7 +57,7 @@ pub use scalar::Scalar;
 pub use matrix::Matrix;
 pub use view::{MatMut, MatRef};
 pub use blocked_qr::{gelqf_blocked, geqrf_blocked, lq_factor_blocked};
-pub use gemm::{gemm, gemm_into, gemm_reference, Trans};
+pub use gemm::{gemm, gemm_into, gemm_par, gemm_reference, Trans};
 pub use kernel::{gemm_prepacked, gemm_prepacked_batch, PackedA};
 pub use syrk::syrk_lower;
 pub use svd::{svd_left, SvdOutput};

@@ -1,26 +1,39 @@
 //! Householder LQ factorization (LAPACK `gelqf`) of short-fat matrices.
 //!
 //! For an `m x n` unfolding with `m ≪ n`, `A = L·Q` reduces the SVD problem to
-//! the small lower-triangular `L` (paper §3.1). The implementation reuses
-//! [`crate::qr::geqrf`] on a transposed view — transposition is free on
-//! strided views, and the layout dispatch in the reflector application keeps
-//! both the column-major (`gelq`) and row-major (`geqr`-of-transpose) cases on
-//! contiguous inner loops.
+//! the small lower-triangular `L` (paper §3.1). Since PR 6 the default path is
+//! the blocked compact-WY factorization in [`crate::blocked_qr`], which routes
+//! the trailing updates through the register-tiled GEMM engine; the original
+//! unblocked transposed-view implementation is preserved as
+//! [`gelqf_unblocked`] — the serial reference the benchmarks gate against and
+//! the bitwise oracle for degenerate shapes.
 
 use crate::matrix::Matrix;
-use crate::qr::geqrf;
 use crate::scalar::Scalar;
 use crate::view::{MatMut, MatRef};
 
 /// In-place Householder LQ: on return the lower triangle of `a` holds `L` and
 /// the strict upper triangle holds reflector tails. Returns the `tau`s.
+///
+/// Delegates to the blocked compact-WY path with the default panel width
+/// (degenerate shapes fall back to the unblocked reference bit-for-bit);
+/// the call is attributed to the `"lq"` perf site with the same model flop
+/// count as before, so `kernel/lq/*` attribution is unchanged.
 pub fn gelqf<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
-    // LQ of m x n == QR of the transposed n x m view; the nested geqrf's
-    // perf frame is depth-guarded, so the call is attributed to "lq" only.
+    crate::blocked_qr::gelqf_blocked(a, crate::blocked_qr::DEFAULT_BLOCK)
+}
+
+/// The pre-PR6 unblocked LQ: QR of the transposed `n x m` view, one reflector
+/// at a time. Kept as the serial reference — `bench kernels` measures the
+/// blocked path against it in the same run, and the degenerate-shape
+/// delegation in [`crate::blocked_qr::gelqf_blocked`] must match it bitwise.
+pub fn gelqf_unblocked<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
+    // The nested geqrf's perf frame is depth-guarded, so the call is
+    // attributed to "lq" only.
     let flops = crate::perf::qr_flops(a.cols(), a.rows());
     crate::perf::with_kernel("lq", flops, 0, || {
         let mut at = a.t_mut();
-        geqrf(&mut at)
+        crate::qr::geqrf_impl(&mut at)
     })
 }
 

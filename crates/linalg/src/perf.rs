@@ -125,6 +125,13 @@ pub(crate) fn qr_flops(m: usize, n: usize) -> u64 {
     f.max(0.0) as u64
 }
 
+/// Golub–Kahan bidiagonalization flop count for an `m x n` (`m ≥ n`)
+/// reduction (leading terms: `4mn² − 4n³/3`, the `gebrd` model).
+pub(crate) fn bidiag_flops(m: usize, n: usize) -> u64 {
+    let (m, n) = (m as f64, n as f64);
+    (4.0 * m * n * n - 4.0 / 3.0 * n * n * n).max(0.0) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,8 +21,10 @@ pub fn geqrf<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
     crate::perf::with_kernel("qr", crate::perf::qr_flops(m, n), 0, || geqrf_impl(a))
 }
 
-/// Body of [`geqrf`], split out of the perf-collector frame.
-fn geqrf_impl<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
+/// Body of [`geqrf`], split out of the perf-collector frame. This is the
+/// panel kernel of the blocked drivers in [`crate::blocked_qr`] and the
+/// serial reference their degenerate-shape delegation must match bitwise.
+pub(crate) fn geqrf_impl<T: Scalar>(a: &mut MatMut<'_, T>) -> Vec<T> {
     let m = a.rows();
     let n = a.cols();
     let k = m.min(n);

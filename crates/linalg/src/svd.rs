@@ -11,10 +11,20 @@ use crate::bidiag::bidiagonalize;
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
-use crate::view::MatRef;
+use crate::view::{MatMut, MatRef};
+use rayon::prelude::*;
 
 /// Maximum implicit-QR sweeps per singular value before giving up.
 const MAX_SWEEPS: usize = 75;
+
+/// Deferred-rotation list length that triggers an eager flush onto U/V,
+/// bounding the memory held by the back-transformation log.
+const OP_FLUSH: usize = 1 << 16;
+
+/// Rows per parallel band in [`apply_col_ops`]. A fixed constant: band
+/// boundaries never influence any row's arithmetic, so the value only tunes
+/// granularity, not results.
+const ROW_BAND: usize = 128;
 
 /// SVD result: `A ≈ U · diag(s) · Vᵀ`.
 pub struct SvdOutput<T> {
@@ -38,7 +48,7 @@ pub fn svd<T: Scalar>(a: MatRef<'_, T>, want_u: bool, want_v: bool) -> Result<Sv
         return Ok(SvdOutput { u: t.v, s: t.s, v: t.u });
     }
     let mut work = a.to_matrix();
-    let bd = bidiagonalize(&mut work, want_u, want_v);
+    let bd = bidiagonalize(&mut work, want_u, want_v)?;
     let mut d = bd.d;
     let mut e = bd.e;
     let mut u = bd.u;
@@ -52,7 +62,12 @@ pub fn svd<T: Scalar>(a: MatRef<'_, T>, want_u: bool, want_v: bool) -> Result<Sv
 /// of ST-HOSVD (Alg. 1) needs. `U` is `m x min(m, n)`.
 pub fn svd_left<T: Scalar>(a: MatRef<'_, T>) -> Result<(Matrix<T>, Vec<T>)> {
     let out = svd(a, true, false)?;
-    Ok((out.u.expect("u requested"), out.s))
+    match out.u {
+        Some(u) => Ok((u, out.s)),
+        // svd always honors want_u; keep the guard typed so a driver bug
+        // surfaces as an error in the affected rank instead of an abort.
+        None => Err(LinalgError::EmptyMatrix { op: "svd_left" }),
+    }
 }
 
 /// Singular values only.
@@ -61,11 +76,21 @@ pub fn singular_values<T: Scalar>(a: MatRef<'_, T>) -> Result<Vec<T>> {
 }
 
 /// Implicit-shift QR iteration on an upper bidiagonal matrix
-/// (`d` diagonal, `e[i] = B[i-1, i]`, `e[0]` unused).
+/// (`d` diagonal, `e[i] = B[i-1, i]`, `e[0]` unused and forced to zero).
 ///
 /// Left Givens rotations are accumulated into the columns of `u`, right
 /// rotations into the columns of `v`. On return `d` holds the non-negative
 /// (unsorted) singular values.
+///
+/// The rotations are not applied inline: the d/e iteration never reads U or
+/// V, so the sweep records every column operation into a log and the
+/// back-transformation replays the log onto U/V in parallel row bands
+/// ([`apply_col_ops`]), flushing eagerly past [`OP_FLUSH`] entries. The
+/// replay is bit-identical to inline application for every thread count.
+///
+/// Failure paths are typed ([`LinalgError::NoConvergence`] on a stalled
+/// value, [`LinalgError::NonFinite`] on a NaN/Inf band); on error the
+/// contents of `u`/`v` are unspecified.
 pub fn bdsqr<T: Scalar>(
     d: &mut [T],
     e: &mut [T],
@@ -76,6 +101,16 @@ pub fn bdsqr<T: Scalar>(
     if n == 0 {
         return Ok(());
     }
+    // Typed guard: a NaN in the band would make every negligibility test
+    // below read false and walk the split scan off the front of the block.
+    for i in 0..n {
+        if !(d[i].is_finite() && e[i].is_finite()) {
+            return Err(LinalgError::NonFinite { phase: "bdsqr".into(), rank: 0, mode: 0, index: i });
+        }
+    }
+    // e[0] is defined as unused; force the invariant the split scan's
+    // termination argument rests on rather than trusting the caller.
+    e[0] = T::ZERO;
     // Scale reference for negligibility tests.
     let mut anorm = T::ZERO;
     for i in 0..n {
@@ -86,17 +121,38 @@ pub fn bdsqr<T: Scalar>(
     }
     let eps = T::EPSILON;
 
+    let record_u = u.is_some();
+    let record_v = v.is_some();
+    let mut uops: Vec<ColOp<T>> = Vec::new();
+    let mut vops: Vec<ColOp<T>> = Vec::new();
+
     for k in (0..n).rev() {
         let mut its = 0usize;
         loop {
+            // Bound the log: past OP_FLUSH entries, replay onto the targets
+            // and start a fresh batch.
+            if uops.len() >= OP_FLUSH {
+                if let Some(uu) = u.as_deref_mut() {
+                    apply_col_ops(uu, &uops);
+                }
+                uops.clear();
+            }
+            if vops.len() >= OP_FLUSH {
+                if let Some(vv) = v.as_deref_mut() {
+                    apply_col_ops(vv, &vops);
+                }
+                vops.clear();
+            }
             // Find a split point: the block [l..=k] has nonzero superdiagonal
             // entries; either e[l] is negligible (clean split) or d[l-1] is
-            // negligible (requires cancellation of e[l]). Since e[0] is 0 by
-            // construction, the first test always fires by l = 0.
+            // negligible (requires cancellation of e[l]). e[0] is zero, so
+            // the first test fires by l = 0; the explicit l == 0 arm keeps
+            // the scan in bounds even if iteration produced a NaN (which the
+            // sweep budget then reports as NoConvergence).
             let mut l = k;
             let mut cancel = false;
             loop {
-                if e[l].abs() <= eps * anorm {
+                if l == 0 || e[l].abs() <= eps * anorm {
                     e[l] = T::ZERO;
                     break;
                 }
@@ -123,8 +179,8 @@ pub fn bdsqr<T: Scalar>(
                     d[i] = h;
                     c = g / h;
                     s = -f / h;
-                    if let Some(uu) = u.as_deref_mut() {
-                        rotate_cols(uu, lm1, i, c, s);
+                    if record_u {
+                        uops.push(ColOp::Rot { j: lm1 as u32, i: i as u32, c, s });
                     }
                 }
             }
@@ -134,8 +190,8 @@ pub fn bdsqr<T: Scalar>(
                 // Converged: 1x1 block.
                 if z < T::ZERO {
                     d[k] = -z;
-                    if let Some(vv) = v.as_deref_mut() {
-                        negate_col(vv, k);
+                    if record_v {
+                        vops.push(ColOp::Neg { j: k as u32 });
                     }
                 }
                 break;
@@ -172,8 +228,8 @@ pub fn bdsqr<T: Scalar>(
                 g = g * c - x * s;
                 h = y * s;
                 y *= c;
-                if let Some(vv) = v.as_deref_mut() {
-                    rotate_cols(vv, j, i, c, s);
+                if record_v {
+                    vops.push(ColOp::Rot { j: j as u32, i: i as u32, c, s });
                 }
                 zz = f.hypot(h);
                 d[j] = zz;
@@ -184,8 +240,8 @@ pub fn bdsqr<T: Scalar>(
                 }
                 f = c * g + s * y;
                 x = c * y - s * g;
-                if let Some(uu) = u.as_deref_mut() {
-                    rotate_cols(uu, j, i, c, s);
+                if record_u {
+                    uops.push(ColOp::Rot { j: j as u32, i: i as u32, c, s });
                 }
             }
             e[l] = T::ZERO;
@@ -193,7 +249,85 @@ pub fn bdsqr<T: Scalar>(
             d[k] = x;
         }
     }
+    if let Some(uu) = u {
+        apply_col_ops(uu, &uops);
+    }
+    if let Some(vv) = v {
+        apply_col_ops(vv, &vops);
+    }
+    // A degenerate shift (zero pivot) can drive the chase non-finite without
+    // exhausting the sweep budget; keep that failure typed too.
+    for (i, x) in d.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(LinalgError::NonFinite { phase: "bdsqr".into(), rank: 0, mode: 0, index: i });
+        }
+    }
     Ok(())
+}
+
+/// A deferred column operation on U or V, recorded during the bidiagonal
+/// iteration and replayed by [`apply_col_ops`].
+#[derive(Clone, Copy)]
+enum ColOp<T> {
+    /// Givens rotation of columns `(j, i)`, same convention as
+    /// [`rotate_cols`].
+    Rot { j: u32, i: u32, c: T, s: T },
+    /// Negate column `j`.
+    Neg { j: u32 },
+}
+
+/// Replay a column-operation log onto `mat`.
+///
+/// Column rotations act on each row independently, so the matrix is
+/// transposed into row-major scratch, the whole log is streamed over fixed
+/// [`ROW_BAND`]-row bands in parallel, and the result transposed back. Every
+/// row applies the ops in log order with the exact expressions of
+/// [`rotate_cols`], so the result is bit-identical to serial inline
+/// application regardless of thread count or band partition. Small problems
+/// skip the transposes and apply in place.
+fn apply_col_ops<T: Scalar>(mat: &mut Matrix<T>, ops: &[ColOp<T>]) {
+    if ops.is_empty() {
+        return;
+    }
+    let (rows, cols) = mat.shape();
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    if rows.saturating_mul(ops.len()) < 1 << 14 {
+        for op in ops {
+            match *op {
+                ColOp::Rot { j, i, c, s } => rotate_cols(mat, j as usize, i as usize, c, s),
+                ColOp::Neg { j } => negate_col(mat, j as usize),
+            }
+        }
+        return;
+    }
+    let mut scratch = vec![T::ZERO; rows * cols];
+    {
+        let mut rm = MatMut::strided(&mut scratch, cols, rows, 1, cols);
+        crate::blocked_qr::transpose_into(mat.as_ref(), &mut rm);
+    }
+    scratch.par_chunks_mut(ROW_BAND * cols).for_each(|band| {
+        for row in band.chunks_mut(cols) {
+            for op in ops {
+                match *op {
+                    ColOp::Rot { j, i, c, s } => {
+                        let (j, i) = (j as usize, i as usize);
+                        let xj = row[j];
+                        let xi = row[i];
+                        row[j] = c * xj + s * xi;
+                        row[i] = c * xi - s * xj;
+                    }
+                    ColOp::Neg { j } => {
+                        let j = j as usize;
+                        row[j] = -row[j];
+                    }
+                }
+            }
+        }
+    });
+    let rm = MatRef::strided(&scratch, cols, rows, 1, cols);
+    crate::blocked_qr::transpose_into(rm, &mut mat.as_mut());
 }
 
 /// Apply a Givens rotation to columns `(j, i)` of `m`:
@@ -436,6 +570,36 @@ mod tests {
         check_full_svd(&a, 1e-12);
         let s = singular_values(a.as_ref()).unwrap();
         assert_eq!(s, vec![5.0, 4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn blocked_bidiag_and_banded_backtransform_paths() {
+        // 64 > 2 * BIDIAG_BLOCK exercises the labrd panels, and the rotation
+        // log is large enough for the banded parallel back-transformation.
+        check_full_svd(&pseudo_matrix(64, 64, 11), 1e-11);
+        check_full_svd(&pseudo_matrix(90, 40, 12), 1e-11);
+    }
+
+    #[test]
+    fn nan_input_is_typed_error() {
+        let mut a = pseudo_matrix(6, 6, 13);
+        a[(3, 2)] = f64::NAN;
+        match svd(a.as_ref(), true, true) {
+            Err(LinalgError::NonFinite { .. }) => {}
+            other => panic!("expected NonFinite, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn bdsqr_nan_band_is_typed_error() {
+        // Regression shape: a NaN ahead of the scan start used to defeat
+        // both negligibility tests and underflow the `d[l-1]` index at l = 0.
+        let mut d = vec![1.0f64, f64::NAN, 2.0];
+        let mut e = vec![0.0f64, 0.5, 0.25];
+        match bdsqr(&mut d, &mut e, None, None) {
+            Err(LinalgError::NonFinite { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
     }
 
     #[test]

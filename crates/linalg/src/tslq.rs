@@ -211,6 +211,15 @@ mod tests {
     }
 
     #[test]
+    fn blocked_head_path() {
+        // m > DEFAULT_BLOCK so the phase-1 gelqf takes the blocked compact-WY
+        // path (on a row-major workspace view); the tree must still agree
+        // with the dense factorization and the Gram matrix.
+        let m = crate::blocked_qr::DEFAULT_BLOCK + 16;
+        check_against_dense(&pseudo_matrix(m, 3 * m, 8), m / 2, 1, 1e-10);
+    }
+
+    #[test]
     fn empty_input_gives_zero() {
         let l = tslq_blocks::<f64, _>(3, std::iter::empty(), TslqOptions::default());
         assert_eq!(l, Matrix::zeros(3, 3));

@@ -233,6 +233,11 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     pub fn col_contiguous(&self) -> bool {
         self.rs == 1
     }
+    /// True if rows are contiguous (`cs == 1`).
+    #[inline(always)]
+    pub fn row_contiguous(&self) -> bool {
+        self.cs == 1
+    }
 
     /// In-place update of element at `(i, j)`.
     #[inline(always)]

@@ -329,3 +329,184 @@ proptest! {
         }
     }
 }
+
+// ---- PR6: blocked compact-WY QR/LQ and the bidiagonal SVD — bitwise
+// ---- determinism across rayon task counts, plus orthonormality and
+// ---- backward-error bounds on random and rank-deficient inputs.
+
+use tucker_linalg::blocked_qr::{gelqf_blocked, geqrf_blocked, lq_factor_blocked};
+use tucker_linalg::qr::{form_q, qr_r};
+
+/// Task counts every parallel code path must reproduce bitwise.
+const TASK_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Run `f` with the rayon worker budget pinned to `tasks` (the same
+/// thread-local knob the MPI simulator uses to partition cores across rank
+/// threads), restoring the previous budget afterwards.
+fn with_tasks<R>(tasks: usize, f: impl FnOnce() -> R) -> R {
+    let prev = rayon::current_thread_limit();
+    rayon::set_current_thread_limit(Some(tasks));
+    let out = f();
+    rayon::set_current_thread_limit(prev);
+    out
+}
+
+/// QR + LQ + SVD of `a` — the tuple every pool must reproduce bit for bit.
+#[allow(clippy::type_complexity)]
+fn factorization_bits<T: Scalar>(
+    a: &Matrix<T>,
+    nb: usize,
+) -> (Vec<T>, Vec<T>, Vec<T>, Vec<T>, Vec<T>, Vec<T>, Vec<T>, Vec<T>) {
+    let mut wq = a.clone();
+    let tq = geqrf_blocked(&mut wq.as_mut(), nb);
+    let mut wl = a.clone();
+    let tl = gelqf_blocked(&mut wl.as_mut(), nb);
+    let out = svd(a.as_ref(), true, true).expect("svd");
+    (
+        wq.data().to_vec(),
+        tq,
+        wl.data().to_vec(),
+        tl,
+        out.s,
+        out.u.expect("u").data().to_vec(),
+        out.v.expect("v").data().to_vec(),
+        lq_factor_blocked(a.as_ref(), nb).data().to_vec(),
+    )
+}
+
+fn check_bitwise_across_pools<T: Scalar>(a: &Matrix<T>, nb: usize) {
+    // Reference: whatever worker budget the test harness itself runs under.
+    let want = factorization_bits(a, nb);
+    for tasks in TASK_COUNTS {
+        let got = with_tasks(tasks, || factorization_bits(a, nb));
+        assert_eq!(
+            got, want,
+            "blocked QR/LQ/SVD changed bits under a {tasks}-task budget ({}x{}, nb={nb})",
+            a.rows(),
+            a.cols()
+        );
+    }
+}
+
+/// Random-rank-deficient matrix: product of seeded `m x r` and `r x n`.
+fn rank_deficient<T: Scalar>(m: usize, n: usize, r: usize, seed: u64) -> Matrix<T> {
+    let b = seeded::<T>(m, r.max(1), seed);
+    let c = seeded::<T>(r.max(1), n, seed ^ 0x3333_3333);
+    gemm_into(b.as_ref(), Trans::No, c.as_ref(), Trans::No)
+}
+
+fn check_qr_backward_error<T: Scalar>(a: &Matrix<T>, nb: usize, tol: f64) {
+    let (m, n) = (a.rows(), a.cols());
+    let k = m.min(n);
+    let mut w = a.clone();
+    let taus = geqrf_blocked(&mut w.as_mut(), nb);
+    let q = form_q(w.as_ref(), &taus, k);
+    assert!(
+        q.orthonormality_error().to_f64() < tol,
+        "Q lost orthonormality ({m}x{n}, nb={nb})"
+    );
+    let r = qr_r(w.as_ref());
+    let prod = gemm_into(q.as_ref(), Trans::No, r.as_ref(), Trans::No);
+    let scale = a.max_abs().to_f64().max(1.0) * (k as f64).max(1.0);
+    assert!(
+        prod.max_abs_diff(a).to_f64() < tol * scale,
+        "A != QR backward error ({m}x{n}, nb={nb})"
+    );
+}
+
+fn check_lq_backward_error<T: Scalar>(a: &Matrix<T>, nb: usize, tol: f64) {
+    let l = lq_factor_blocked(a.as_ref(), nb);
+    let llt = gemm_into(l.as_ref(), Trans::No, l.as_ref(), Trans::Yes);
+    let aat = syrk_lower(a.as_ref());
+    let scale = aat.max_abs().to_f64().max(1.0) * (a.cols() as f64).max(1.0);
+    assert!(
+        llt.max_abs_diff(&aat).to_f64() < tol * scale,
+        "L Lᵀ != A Aᵀ ({}x{}, nb={nb})",
+        a.rows(),
+        a.cols()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_factorizations_bitwise_across_pools(
+        m in 1usize..20, n in 1usize..20, seed in any::<u64>(), nbi in 0usize..3,
+    ) {
+        // Small nb so the blocked paths (panels + WY trailing updates) are
+        // exercised even at proptest sizes; nb=2 also hits the recursion
+        // bottom and nb=32 the degenerate single-panel delegation.
+        let nb = [2usize, 8, 32][nbi];
+        check_bitwise_across_pools(&seeded::<f64>(m, n, seed), nb);
+        check_bitwise_across_pools(&seeded::<f32>(m, n, seed), nb);
+    }
+
+    #[test]
+    fn blocked_qr_lq_backward_error(
+        m in 1usize..20, n in 1usize..20, seed in any::<u64>(), nbi in 0usize..3,
+        deficient in any::<bool>(),
+    ) {
+        let nb = [2usize, 8, 32][nbi];
+        let r = (m.min(n) / 2).max(1);
+        let a64: Matrix<f64> =
+            if deficient { rank_deficient(m, n, r, seed) } else { seeded(m, n, seed) };
+        let a32: Matrix<f32> =
+            if deficient { rank_deficient(m, n, r, seed) } else { seeded(m, n, seed) };
+        check_qr_backward_error(&a64, nb, 1e-12);
+        check_qr_backward_error(&a32, nb, 1e-4);
+        check_lq_backward_error(&a64, nb, 1e-12);
+        check_lq_backward_error(&a32, nb, 1e-4);
+    }
+
+    #[test]
+    fn svd_rank_deficient_inputs(
+        m in 2usize..14, n in 2usize..14, seed in any::<u64>(),
+    ) {
+        // Rank-deficient inputs drive the implicit-QR sweep through its
+        // split/cancellation branches; the trailing singular values must
+        // come out (near) zero and the factors stay orthonormal.
+        let r = (m.min(n) / 2).max(1);
+        let a = rank_deficient::<f64>(m, n, r, seed);
+        let out = svd(a.as_ref(), true, true).unwrap();
+        let u = out.u.unwrap();
+        let v = out.v.unwrap();
+        prop_assert!(u.orthonormality_error() < 1e-11);
+        prop_assert!(v.orthonormality_error() < 1e-11);
+        let smax = out.s.first().copied().unwrap_or(0.0);
+        for &s in &out.s[r.min(out.s.len())..] {
+            prop_assert!(s <= 1e-10 * smax.max(1.0), "rank-{r} input grew σ={s}");
+        }
+        let mut us = u.clone();
+        for (j, &s) in out.s.iter().enumerate() {
+            for val in us.col_mut(j) {
+                *val *= s;
+            }
+        }
+        let recon = gemm_into(us.as_ref(), Trans::No, v.as_ref(), Trans::Yes);
+        prop_assert!(recon.max_abs_diff(&a) < 1e-10 * a.max_abs().max(1.0));
+    }
+}
+
+/// Deterministic large-shape determinism check: sizes chosen so the
+/// *parallel* code paths actually engage — the 2D-tiled `gemm_into` inside
+/// the WY trailing update needs ≥ 2²² flops, and the deferred-rotation
+/// back-transformation of the SVD switches to banded parallel replay once
+/// `rows · ops ≥ 2¹⁴`. Proptest-sized inputs stay on the serial fast paths,
+/// so this case is pinned explicitly.
+#[test]
+fn parallel_paths_bitwise_across_pools() {
+    // 48 × 6000: the QR trailing block is ~6000 columns wide, so the
+    // rank-nb gemm_par fans out over its fixed 256-column panels (n > 256,
+    // flops > 2²²), and the LQ side drives the same update through the
+    // transposed workspace.
+    let a64 = seeded::<f64>(48, 6000, 99);
+    check_bitwise_across_pools(&a64, 16);
+    let a32 = seeded::<f32>(48, 6000, 101);
+    check_bitwise_across_pools(&a32, 16);
+    // 400 × 400: the blocked bidiagonalization's A₂₂ update is wide enough
+    // for gemm_par, and the U/V back-transformations cross the
+    // rows · ops ≥ 2¹⁴ threshold into the banded parallel rotation replay.
+    let sq = seeded::<f64>(400, 400, 103);
+    check_bitwise_across_pools(&sq, 16);
+}

@@ -28,9 +28,16 @@ fi
     --ranks 4x4x4 --checkpoint-dir "$ckpt" --resume
 echo "chaos smoke: crash -> resume cycle OK"
 
-# Bench smoke: the kernel benchmark must run, emit schema-valid records,
-# and never report NaN/zero throughput (the binary exits non-zero on a
-# degenerate reading; the schema is checked here).
+# Factorization determinism: the PR6 proptests (blocked QR/LQ/bidiag-SVD
+# bit-identical across task budgets, backward error on rank-deficient
+# inputs) run as part of the workspace tests above; re-run the suite
+# explicitly under --locked so a filtered workspace run cannot skip it.
+cargo test -q -p tucker-linalg --test proptests --locked
+
+# Bench smoke: the kernel benchmark must run, emit schema-valid records
+# (including the PR6 factorization entries), and never report NaN/zero
+# throughput (the binary exits non-zero on a degenerate reading; the
+# schema is checked here).
 bench_json="$ckpt/bench_smoke.json"
 target/release/bench kernels --quick --out "$bench_json"
 python3 - "$bench_json" <<'PY'
@@ -44,6 +51,10 @@ for r in recs:
     assert len(metric) == 1, f"want exactly one of gflops|ms: {r}"
     v = r[metric[0]]
     assert isinstance(v, (int, float)) and math.isfinite(v) and v > 0, f"degenerate reading: {r}"
+names = {(r["bench"], r["precision"]) for r in recs}
+for b in ("gemm", "syrk", "lq", "lq_reference", "qr", "bidiag_svd"):
+    for p in ("double", "single"):
+        assert (b, p) in names, f"missing {b}/{p} record"
 print(f"bench smoke: {len(recs)} schema-valid records OK")
 PY
 
