@@ -37,7 +37,8 @@ use tucker_linalg::{
 use tucker_mpisim::{CostModel, Simulator};
 use tucker_tensor::{ttm, Tensor};
 
-const USAGE: &str = "usage: bench kernels|metrics-overhead|serve [--quick] [--out FILE.json]";
+const USAGE: &str =
+    "usage: bench kernels|metrics-overhead|serve|failover [--quick] [--out FILE.json]";
 
 /// One output record: a named measurement at a shape and precision.
 struct Rec {
@@ -389,10 +390,95 @@ fn run_serve(quick: bool, out_path: &str) {
     println!("wrote serve record to {out_path}");
 }
 
+/// `bench failover`: the PR7 replicated-tier gate. Virtual-time like
+/// `serve`, so every number — including recovery time and the overload p99
+/// — is reproducible bit-for-bit from the workload seed.
+fn run_failover(quick: bool, out_path: &str) {
+    // 2 shards × 2 replicas, default plan: crash world rank 1 mid-workload.
+    let r = match tucker_serve::run_failover_bench(quick, 2, 2, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench failover: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = r.to_json();
+    println!("{json}");
+    println!(
+        "failover: {}x{} tier, lost {} of {} (dead ranks {:?}), recovery {:.3e}s vt, \
+         healthy p99 {:.3}ms, overload p99 {:.3}ms ({} rejected, {} low shed, {} quota)",
+        r.shards,
+        r.replicas,
+        r.failover_lost,
+        r.queries,
+        r.dead_ranks,
+        r.failover_recovery_vt_s,
+        r.healthy_p99_ms,
+        r.overload_p99_ms,
+        r.overload_rejected,
+        r.overload_shed_low,
+        r.overload_quota_rejected,
+    );
+    for (name, v) in [
+        ("healthy_p50_ms", r.healthy_p50_ms),
+        ("healthy_p99_ms", r.healthy_p99_ms),
+        ("healthy_qps", r.healthy_qps),
+        ("overload_p99_ms", r.overload_p99_ms),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("bench failover: {name} produced a degenerate reading {v}");
+            std::process::exit(1);
+        }
+    }
+    // PR7 acceptance gates — deterministic, so enforced in both modes.
+    if r.failover_lost != 0 {
+        eprintln!("bench failover: {} admitted queries lost to a 1-replica crash", r.failover_lost);
+        std::process::exit(1);
+    }
+    if !r.failover_crc_identical {
+        eprintln!("bench failover: failover answers diverged from the unsharded engine");
+        std::process::exit(1);
+    }
+    if r.failover_recovery_vt_s <= 0.0 {
+        eprintln!("bench failover: no failover recovery was measured — did the crash fire?");
+        std::process::exit(1);
+    }
+    if r.dead_ranks != vec![1] {
+        eprintln!("bench failover: expected exactly world rank 1 dead, got {:?}", r.dead_ranks);
+        std::process::exit(1);
+    }
+    if r.overload_rejected == 0 || r.overload_shed_low == 0 || r.overload_quota_rejected == 0 {
+        eprintln!(
+            "bench failover: overload run exercised no shedding (rejected {}, shed {}, quota {})",
+            r.overload_rejected, r.overload_shed_low, r.overload_quota_rejected
+        );
+        std::process::exit(1);
+    }
+    // p99-under-overload gate: bounded-queue admission must keep admitted
+    // latency within a fixed multiple of the healthy tail (queueing adds
+    // delay, but at most ~queue_capacity service times of it).
+    if r.overload_p99_ms > 50.0 * r.healthy_p99_ms {
+        eprintln!(
+            "bench failover: overload p99 {:.3}ms blew past 50x the healthy p99 {:.3}ms",
+            r.overload_p99_ms, r.healthy_p99_ms
+        );
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench failover: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote failover record to {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sub = args.first().map(String::as_str);
-    if sub != Some("kernels") && sub != Some("metrics-overhead") && sub != Some("serve") {
+    if sub != Some("kernels")
+        && sub != Some("metrics-overhead")
+        && sub != Some("serve")
+        && sub != Some("failover")
+    {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -400,6 +486,7 @@ fn main() {
     let mut out_path = match sub {
         Some("kernels") => "BENCH_pr6.json",
         Some("serve") => "BENCH_pr5.json",
+        Some("failover") => "BENCH_pr7.json",
         _ => "BENCH_pr4.json",
     }
     .to_string();
@@ -410,6 +497,10 @@ fn main() {
     }
     if sub == Some("serve") {
         run_serve(quick, &out_path);
+        return;
+    }
+    if sub == Some("failover") {
+        run_failover(quick, &out_path);
         return;
     }
     if sub == Some("metrics-overhead") {

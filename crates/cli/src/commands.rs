@@ -18,7 +18,8 @@ use tucker_mpisim::{
     ThreadTopology, TraceConfig,
 };
 use tucker_serve::{
-    run_serve_bench, AnyStore, Engine, EngineConfig, OrderPolicy, Query, TuckerStore,
+    run_failover_bench, run_serve_bench, AnyStore, Engine, EngineConfig, OrderPolicy, Query,
+    TuckerStore,
 };
 use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision, TensorChunks};
 use tucker_tensor::{hyperslab, FrobAccumulator, Tensor};
@@ -37,7 +38,15 @@ usage:
                   (SPEC is one selector per mode, comma-separated:
                    '*' all, '3' index, '0:8' range, '2:10:2' strided;
                    --verify checks the result against a full reconstruction)
+  tucker shard <in.tkr> <out-dir> --shards N
+                  (splits a store into N mode-0 shards: shard0000.tkr … plus
+                   a TKSM manifest, for the replicated serving tier)
   tucker serve-bench [--quick] [--out bench.json]
+                  [--shards N --replicas K [--inject SPEC]]
+                  (--shards switches to the replicated-tier benchmark:
+                   healthy/failover/overload runs over N shards x K replicas;
+                   --inject arms an mpisim fault plan against world ranks,
+                   e.g. 'crash:rank=1,op=2' or 'flaky:0:0..40:5')
   tucker simulate [in.tns] --grid 2x2x2 [--kind hcci|sp|video|random --dims 32x32x32 --seed N]
                   [--tol 1e-4 | --ranks 5x5x5] [--method qr|gram|gram-mixed|randomized]
                   [--order forward|backward|auto] [--trace out.json] [--timeline out.txt] [--validate]
@@ -60,6 +69,7 @@ pub fn run(a: &Args) -> Result<(), String> {
         "compress" => compress(a),
         "decompress" => decompress(a),
         "query" => query_cmd(a),
+        "shard" => shard_cmd(a),
         "serve-bench" => serve_bench_cmd(a),
         "simulate" => simulate(a),
         "info" => info(a),
@@ -345,9 +355,52 @@ fn query_typed<T: Scalar + tucker_tensor::io::IoScalar>(
     Ok(())
 }
 
-/// Run the deterministic serving benchmark (naive vs batched vs overload)
-/// and emit its JSON record.
+/// Split a compressed store into mode-0 shards (`shard0000.tkr` … plus a
+/// `TKSM v1` manifest) for the replicated serving tier.
+fn shard_cmd(a: &Args) -> Result<(), String> {
+    let input = a.pos(0, "in.tkr")?;
+    let dir = a.pos(1, "out-dir")?;
+    let shards: usize = a
+        .opt("shards")
+        .ok_or("shard requires --shards")?
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    if shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    match read_tucker_any(input).map_err(|e| e.to_string())? {
+        AnyTucker::F64(tk) => shard_typed(dir, &tk, shards),
+        AnyTucker::F32(tk) => shard_typed(dir, &tk, shards),
+    }
+}
+
+fn shard_typed<T: tucker_tensor::io::IoScalar>(
+    dir: &str,
+    tk: &TuckerTensor<T>,
+    shards: usize,
+) -> Result<(), String> {
+    let dims = tk.original_dims();
+    if shards > dims[0] {
+        return Err(format!("--shards {shards} exceeds mode-0 extent {}", dims[0]));
+    }
+    let paths = tucker_core::write_shards(dir, tk, shards).map_err(|e| e.to_string())?;
+    println!("sharded {dims:?} into {shards} mode-0 shards under {dir}");
+    for (s, p) in paths.iter().enumerate() {
+        let r = tucker_dtensor::block_range(dims[0], shards, s);
+        println!("  shard {s}: rows {}..{} -> {}", r.start, r.end, p.display());
+    }
+    Ok(())
+}
+
+/// Run the deterministic serving benchmark and emit its JSON record: the
+/// naive-vs-batched engine comparison by default, or — with `--shards` —
+/// the replicated tier's healthy/failover/overload benchmark
+/// (`BENCH_pr7.json`), with `--inject` arming an mpisim fault plan against
+/// world ranks.
 fn serve_bench_cmd(a: &Args) -> Result<(), String> {
+    if a.opt("shards").is_some() || a.opt("replicas").is_some() || a.opt("inject").is_some() {
+        return failover_bench_cmd(a);
+    }
     let r = run_serve_bench(a.flag("quick")).map_err(|e| e.to_string())?;
     let json = r.to_json();
     if let Some(path) = a.opt("out") {
@@ -358,6 +411,51 @@ fn serve_bench_cmd(a: &Args) -> Result<(), String> {
     println!(
         "serve bench: {:.2}x batched speedup, p50 {:.3}ms, p99 {:.3}ms, {} rejected under overload",
         r.speedup, r.p50_ms, r.p99_ms, r.overload_rejected
+    );
+    Ok(())
+}
+
+/// The replicated-tier benchmark behind `serve-bench --shards`.
+fn failover_bench_cmd(a: &Args) -> Result<(), String> {
+    let parse_count = |key: &str, default: &str| -> Result<usize, String> {
+        let n: usize = a
+            .opt(key)
+            .unwrap_or(default)
+            .parse()
+            .map_err(|_| format!("bad --{key}"))?;
+        if n == 0 {
+            return Err(format!("--{key} must be positive"));
+        }
+        Ok(n)
+    };
+    let shards = parse_count("shards", "2")?;
+    let replicas = parse_count("replicas", "2")?;
+    let plan = match a.opt("inject") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --inject: {e}"))?),
+        None => None,
+    };
+    let r = run_failover_bench(a.flag("quick"), shards, replicas, plan.as_ref())
+        .map_err(|e| e.to_string())?;
+    let json = r.to_json();
+    if let Some(path) = a.opt("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(io_err)?;
+        println!("wrote failover bench to {path}");
+    }
+    println!("{json}");
+    println!(
+        concat!(
+            "failover bench: {}x{} tier; lost {} of {} queries (dead ranks {:?}, ",
+            "recovery {:.3e}s vt); overload p99 {:.3}ms, {} rejected ({} low shed)"
+        ),
+        r.shards,
+        r.replicas,
+        r.failover_lost,
+        r.queries,
+        r.dead_ranks,
+        r.failover_recovery_vt_s,
+        r.overload_p99_ms,
+        r.overload_rejected,
+        r.overload_shed_low,
     );
     Ok(())
 }
@@ -1108,6 +1206,62 @@ mod tests {
         let json = std::fs::read_to_string(&out).unwrap();
         assert!(json.contains("\"bench\":\"serve\""));
         assert!(json.contains("\"speedup\":"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_shards_runs_failover_and_accepts_inject() {
+        let dir = tmpdir().join("failoverbench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("f.json").display().to_string();
+        run(&parse(&toks(&format!(
+            "serve-bench --quick --shards 2 --replicas 2 --inject crash:rank=1,op=2 --out {out}"
+        )))
+        .unwrap())
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"bench\":\"failover\""), "{json}");
+        assert!(json.contains("\"failover_lost\":0"), "{json}");
+        assert!(json.contains("\"failover_crc_identical\":true"), "{json}");
+        assert!(json.contains("\"dead_ranks\":[1]"), "{json}");
+        // Bad inject specs and degenerate layouts are CLI errors, not panics.
+        assert!(run(&parse(&toks("serve-bench --quick --shards 0")).unwrap()).is_err());
+        assert!(run(
+            &parse(&toks("serve-bench --quick --shards 2 --inject flood:rank=0,op=1")).unwrap()
+        )
+        .is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn shard_cmd_splits_a_store_with_manifest() {
+        let dir = tmpdir().join("shardcmd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tns = dir.join("s.tns").display().to_string();
+        let tkr = dir.join("s.tkr").display().to_string();
+        let shards_dir = dir.join("shards").display().to_string();
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind random --dims 20x12x10 --seed 11"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!("compress {tns} {tkr} --ranks 5x4x3"))).unwrap()).unwrap();
+        run(&parse(&toks(&format!("shard {tkr} {shards_dir} --shards 3"))).unwrap()).unwrap();
+        let (manifest, parts) =
+            tucker_core::read_shards::<f64>(&shards_dir).expect("shards read back");
+        assert_eq!(manifest.shards, 3);
+        assert_eq!(manifest.dims, vec![20, 12, 10]);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(
+            parts.iter().map(|p| p.original_dims()[0]).sum::<usize>(),
+            20,
+            "shards partition mode 0"
+        );
+        // Degenerate shard counts are CLI errors.
+        assert!(run(&parse(&toks(&format!("shard {tkr} {shards_dir} --shards 0"))).unwrap())
+            .is_err());
+        assert!(run(&parse(&toks(&format!("shard {tkr} {shards_dir} --shards 21"))).unwrap())
+            .is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 

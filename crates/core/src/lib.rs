@@ -29,6 +29,7 @@ pub mod hosvd;
 pub mod model;
 pub mod order;
 pub mod parallel;
+pub mod shard;
 pub mod sthosvd;
 pub mod svd_driver;
 pub mod truncate;
@@ -39,6 +40,7 @@ pub use checkpoint::{sthosvd_parallel_checkpointed, CheckpointError, CheckpointO
 pub use config::{ModeOrder, SthosvdConfig, SvdMethod, Truncation};
 pub use conformance::{check_model, CheckConfig, ModeCheck, ModelCheckReport};
 pub use parallel::{hosvd_finish, hosvd_init, hosvd_step, sthosvd_parallel, HosvdState, ParallelOutput};
+pub use shard::{read_shard_manifest, read_shards, shard_tucker, write_shards, ShardManifest};
 pub use sthosvd::{sthosvd, sthosvd_with_info, SthosvdOutput};
 pub use hosvd::hosvd;
 pub use order::{optimize_mode_order, OrderSearch};

@@ -18,6 +18,23 @@ pub fn block_range(global: usize, parts: usize, idx: usize) -> Range<usize> {
     start..start + len
 }
 
+/// Inverse of [`block_range`]: which of `parts` blocks owns global `index`.
+/// The serving router uses this to map a query's mode-0 rows onto shards
+/// without scanning every block's range.
+pub fn block_owner(global: usize, parts: usize, index: usize) -> usize {
+    assert!(index < global, "index {index} out of range for {global}");
+    let base = global / parts;
+    let extra = global % parts;
+    // The first `extra` blocks are one longer and cover `extra·(base+1)`
+    // leading indices; the remainder fall into `base`-sized blocks.
+    let cut = extra * (base + 1);
+    if index < cut {
+        index / (base + 1)
+    } else {
+        extra + (index - cut) / base.max(1)
+    }
+}
+
 /// A block-distributed tensor: this rank's local block plus global metadata.
 #[derive(Clone, Debug)]
 pub struct DistTensor<T> {
@@ -142,6 +159,29 @@ mod tests {
         assert_eq!(block_range(12, 3, 0), 0..4);
         assert_eq!(block_range(12, 3, 1), 4..8);
         assert_eq!(block_range(12, 3, 2), 8..12);
+    }
+
+    #[test]
+    fn block_owner_inverts_block_range() {
+        for global in 1..=40usize {
+            for parts in 1..=global {
+                for idx in 0..parts {
+                    for i in block_range(global, parts, idx) {
+                        assert_eq!(
+                            block_owner(global, parts, i),
+                            idx,
+                            "global={global} parts={parts} i={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_owner_rejects_out_of_range_index() {
+        block_owner(10, 4, 10);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod lq;
 pub mod redistribute;
 pub mod ttm;
 
-pub use dist::{block_range, DistTensor};
+pub use dist::{block_owner, block_range, DistTensor};
 pub use gram::{parallel_gram, parallel_gram_mixed};
 pub use grid::ProcessorGrid;
 pub use guard::{check_finite, NumericalFault};

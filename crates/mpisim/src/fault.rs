@@ -25,7 +25,86 @@
 //!   report; low mantissa flips model silent corruption.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// What a crashed rank leaves behind for its peers (and for routers built
+/// on top of the simulator) to find.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashInfo {
+    /// The rank's op counter when it died.
+    pub op_index: u64,
+    /// The innermost phase timer active at death (`<no phase>` if none).
+    pub phase: String,
+}
+
+/// Shared registry of injected-crash deaths, one slot per rank.
+///
+/// The runtime arms one of these whenever a [`FaultPlan`] is attached: a
+/// rank about to die from [`FaultKind::Crash`] publishes its [`CrashInfo`]
+/// *before* raising, and its channel senders only drop after the panic is
+/// caught at the rank boundary — so any peer that observes the disconnect
+/// is guaranteed to find the record and can surface a ULFM-style
+/// `PeerFailed` naming the dead rank. Higher layers (the replicated serving
+/// tier) query the same registry to steer retries away from dead replicas.
+///
+/// All methods are `&self` and poison-tolerant: a thread dying while the
+/// lock is held must never take the registry down with it.
+#[derive(Debug)]
+pub struct CrashRegistry {
+    slots: Mutex<Vec<Option<CrashInfo>>>,
+}
+
+impl CrashRegistry {
+    /// A registry for `ranks` ranks, all alive.
+    pub fn new(ranks: usize) -> Self {
+        CrashRegistry { slots: Mutex::new(vec![None; ranks]) }
+    }
+
+    /// Number of rank slots.
+    pub fn ranks(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Record `rank` as dead at `op_index` in `phase`. The first record
+    /// wins; a rank cannot die twice.
+    pub fn mark(&self, rank: usize, op_index: u64, phase: &str) {
+        let mut slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        let slot = &mut slots[rank];
+        if slot.is_none() {
+            *slot = Some(CrashInfo { op_index, phase: phase.to_string() });
+        }
+    }
+
+    /// Has `rank` crashed? Out-of-range ranks read as alive.
+    pub fn is_crashed(&self, rank: usize) -> bool {
+        self.get(rank).is_some()
+    }
+
+    /// The crash record for `rank`, if it died.
+    pub fn get(&self, rank: usize) -> Option<CrashInfo> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.get(rank).and_then(|s| s.clone())
+    }
+
+    /// Every rank recorded dead, ascending.
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.iter().enumerate().filter(|(_, s)| s.is_some()).map(|(r, _)| r).collect()
+    }
+
+    /// Every rank still alive, ascending.
+    pub fn survivors(&self) -> Vec<usize> {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.iter().enumerate().filter(|(_, s)| s.is_none()).map(|(r, _)| r).collect()
+    }
+
+    /// True if any rank has died.
+    pub fn any_crashed(&self) -> bool {
+        let slots = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+        slots.iter().any(|s| s.is_some())
+    }
+}
 
 /// Upper bound on retransmissions before a send gives up with
 /// [`crate::MpiSimError::RetriesExhausted`]. A [`FaultKind::Drop`] with
@@ -118,6 +197,20 @@ impl FaultPlan {
         self
     }
 
+    /// A flaky link: `rank` loses one message at every `every`-th op in
+    /// `ops` (half-open), i.e. single [`FaultKind::Drop`]s at `ops.start`,
+    /// `ops.start + every`, … — the shorthand behind `flaky:` specs, so
+    /// failover tests don't need one `drop` clause per retry.
+    pub fn flaky(mut self, rank: usize, ops: std::ops::Range<u64>, every: u64) -> Self {
+        assert!(every > 0, "flaky: `every` must be positive");
+        let mut op = ops.start;
+        while op < ops.end {
+            self = self.drop_msg(rank, op, 1);
+            op += every;
+        }
+        self
+    }
+
     /// True if no fault will ever fire.
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
@@ -159,13 +252,22 @@ impl FaultPlan {
     /// drop:rank=0,op=5,times=2
     /// delay:rank=1,op=10,vt=0.5,wall=20      (wall in milliseconds, optional)
     /// corrupt:rank=3,op=7,elem=0,bit=62
+    /// flaky:2:10..40:5                       (positional: rank, op range, stride)
     /// ```
+    ///
+    /// `flaky:<rank>:<from..to>:<every>` expands to single-loss drops at
+    /// ops `from, from+every, …` below `to` — see [`FaultPlan::flaky`].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
         for part in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
             let (kind, rest) = part
                 .split_once(':')
                 .ok_or_else(|| format!("fault `{part}`: expected `kind:key=value,...`"))?;
+            if kind == "flaky" {
+                let (rank, ops, every) = Self::parse_flaky(part, rest)?;
+                plan = plan.flaky(rank, ops, every);
+                continue;
+            }
             let mut kv: HashMap<&str, &str> = HashMap::new();
             for pair in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
                 let (k, v) = pair
@@ -199,6 +301,29 @@ impl FaultPlan {
             };
         }
         Ok(plan)
+    }
+
+    /// Parse the positional `flaky` shorthand body: `<rank>:<from..to>:<every>`.
+    fn parse_flaky(part: &str, rest: &str) -> Result<(usize, std::ops::Range<u64>, u64), String> {
+        let bad = || format!("fault `{part}`: expected `flaky:<rank>:<from..to>:<every>`");
+        let mut fields = rest.split(':').map(str::trim);
+        let (rank, range, every) = match (fields.next(), fields.next(), fields.next(), fields.next())
+        {
+            (Some(r), Some(g), Some(e), None) => (r, g, e),
+            _ => return Err(bad()),
+        };
+        let rank: usize = rank.parse().map_err(|_| bad())?;
+        let (from, to) = range.split_once("..").ok_or_else(bad)?;
+        let from: u64 = from.trim().parse().map_err(|_| bad())?;
+        let to: u64 = to.trim().parse().map_err(|_| bad())?;
+        let every: u64 = every.parse().map_err(|_| bad())?;
+        if every == 0 {
+            return Err(format!("fault `{part}`: `every` must be positive"));
+        }
+        if to < from {
+            return Err(format!("fault `{part}`: empty op range {from}..{to}"));
+        }
+        Ok((rank, from..to, every))
     }
 }
 
@@ -255,5 +380,52 @@ mod tests {
     fn last_fault_wins_on_duplicate_key() {
         let plan = FaultPlan::new().drop_msg(0, 5, 1).crash(0, 5);
         assert_eq!(plan.for_rank(0)[&5], FaultKind::Crash);
+    }
+
+    #[test]
+    fn flaky_shorthand_expands_to_single_drops() {
+        let parsed = FaultPlan::parse("flaky:2:10..40:5").unwrap();
+        assert_eq!(parsed, FaultPlan::new().flaky(2, 10..40, 5));
+        let ops = parsed.for_rank(2);
+        assert_eq!(ops.len(), 6);
+        for op in [10u64, 15, 20, 25, 30, 35] {
+            assert_eq!(ops[&op], FaultKind::Drop { times: 1 });
+        }
+        assert!(!ops.contains_key(&40), "range end is exclusive");
+        // Composes with the key=value grammar in one spec string.
+        let mixed = FaultPlan::parse("crash:rank=0,op=3; flaky:1:0..4:2").unwrap();
+        assert_eq!(mixed, FaultPlan::new().crash(0, 3).flaky(1, 0..4, 2));
+    }
+
+    #[test]
+    fn flaky_shorthand_rejects_garbage() {
+        for bad in [
+            "flaky:2",
+            "flaky:2:10..40",
+            "flaky:2:10..40:5:9",
+            "flaky:x:10..40:5",
+            "flaky:2:10-40:5",
+            "flaky:2:40..10:5",
+            "flaky:2:10..40:0",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn crash_registry_records_first_death_and_lists_survivors() {
+        let reg = CrashRegistry::new(4);
+        assert_eq!(reg.ranks(), 4);
+        assert!(!reg.any_crashed());
+        assert_eq!(reg.survivors(), vec![0, 1, 2, 3]);
+        reg.mark(2, 17, "serve");
+        reg.mark(2, 99, "late"); // first record wins
+        assert!(reg.is_crashed(2));
+        assert!(!reg.is_crashed(0));
+        assert!(!reg.is_crashed(42), "out-of-range reads as alive");
+        assert_eq!(reg.get(2), Some(CrashInfo { op_index: 17, phase: "serve".into() }));
+        assert_eq!(reg.crashed_ranks(), vec![2]);
+        assert_eq!(reg.survivors(), vec![0, 1, 3]);
+        assert!(reg.any_crashed());
     }
 }

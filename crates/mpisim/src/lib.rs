@@ -48,7 +48,7 @@ pub mod wire;
 pub use comm::Comm;
 pub use cost::CostModel;
 pub use error::{MpiSimError, SimFailure};
-pub use fault::{Fault, FaultKind, FaultPlan, MAX_SEND_RETRIES};
+pub use fault::{CrashInfo, CrashRegistry, Fault, FaultKind, FaultPlan, MAX_SEND_RETRIES};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use runtime::{Ctx, SimOutput, Simulator, ThreadTopology};
 pub use stats::{Breakdown, PhaseCritical, PhaseStat, RankStats};

@@ -21,7 +21,7 @@
 
 use crate::cost::CostModel;
 use crate::error::{MpiSimError, SimFailure};
-use crate::fault::{FaultKind, FaultPlan, MAX_SEND_RETRIES};
+use crate::fault::{CrashRegistry, FaultKind, FaultPlan, MAX_SEND_RETRIES};
 use crate::metrics::MetricsRegistry;
 use crate::stats::{PhaseStat, RankStats};
 use crate::trace::{EventKind, RankTrace, TraceBuffer, TraceConfig};
@@ -86,27 +86,6 @@ impl SharedTrace {
     }
 }
 
-/// What a crashed rank leaves behind for its peers to find.
-#[derive(Debug, Clone)]
-struct CrashRecord {
-    op_index: u64,
-    phase: String,
-}
-
-/// Crash registry shared by all rank threads when a [`FaultPlan`] is armed.
-/// A rank writes its record *before* raising the crash, and its channel
-/// senders only drop after the panic is caught at the rank boundary — so any
-/// peer that observes the disconnect is guaranteed to find the record.
-struct FaultShared {
-    crashed: Mutex<Vec<Option<CrashRecord>>>,
-}
-
-impl FaultShared {
-    fn new(p: usize) -> Self {
-        FaultShared { crashed: Mutex::new(vec![None; p]) }
-    }
-}
-
 /// [`MpiSimError`] values are raised as panic payloads inside rank threads
 /// purely as a control-flow mechanism; the runner catches and types them.
 /// Filter them out of the default panic hook so aborting a simulation does
@@ -167,6 +146,7 @@ pub struct Simulator {
     trace: Option<TraceConfig>,
     watchdog: Option<Duration>,
     faults: Option<FaultPlan>,
+    registry: Option<Arc<CrashRegistry>>,
     topology: ThreadTopology,
     metrics: bool,
 }
@@ -211,6 +191,7 @@ impl Simulator {
             trace: None,
             watchdog: None,
             faults: None,
+            registry: None,
             topology: ThreadTopology::default(),
             metrics: false,
         }
@@ -260,6 +241,21 @@ impl Simulator {
     /// machinery without firing anything and is bit-identical to a plain run.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Share an external [`CrashRegistry`] with the run, so callers (e.g. a
+    /// serving router layered above the simulator) can query which ranks an
+    /// attached [`FaultPlan`] killed, during and after the run. Must have at
+    /// least as many slots as the simulator has ranks.
+    pub fn with_crash_registry(mut self, registry: Arc<CrashRegistry>) -> Self {
+        assert!(
+            registry.ranks() >= self.p,
+            "crash registry has {} slots for {} ranks",
+            registry.ranks(),
+            self.p
+        );
+        self.registry = Some(registry);
         self
     }
 
@@ -340,7 +336,15 @@ impl Simulator {
 
         let cost = self.cost;
         let shared = self.trace.clone().map(|cfg| Arc::new(SharedTrace::new(p, cfg)));
-        let fault_shared = self.faults.as_ref().map(|_| Arc::new(FaultShared::new(p)));
+        let fault_shared = if self.faults.is_some() || self.registry.is_some() {
+            Some(
+                self.registry
+                    .clone()
+                    .unwrap_or_else(|| Arc::new(CrashRegistry::new(p))),
+            )
+        } else {
+            None
+        };
         // Effective watchdog: the standalone builder wins over the trace
         // config; injected wall delays extend it so they are not misreported
         // as deadlocks.
@@ -543,7 +547,7 @@ pub struct Ctx {
     /// Faults scheduled for this rank, keyed by op index.
     my_faults: HashMap<u64, FaultKind>,
     /// Crash registry shared with peers; `Some` whenever a plan is armed.
-    fault_shared: Option<Arc<FaultShared>>,
+    fault_shared: Option<Arc<CrashRegistry>>,
     /// Metrics registry + attribution state; `None` when metrics are off,
     /// which reduces every hook to a single `Option` check.
     metrics: Option<Box<MetricsState>>,
@@ -591,7 +595,7 @@ impl Ctx {
         trace: Option<Arc<SharedTrace>>,
         watchdog: Option<Duration>,
         my_faults: HashMap<u64, FaultKind>,
-        fault_shared: Option<Arc<FaultShared>>,
+        fault_shared: Option<Arc<CrashRegistry>>,
         metrics: bool,
     ) -> Self {
         Ctx {
@@ -681,8 +685,7 @@ impl Ctx {
             .map(|f| f.0.clone())
             .unwrap_or_else(|| "<no phase>".to_string());
         if let Some(fs) = &self.fault_shared {
-            let mut crashed = fs.crashed.lock().unwrap_or_else(|p| p.into_inner());
-            crashed[self.rank] = Some(CrashRecord { op_index: op, phase: phase.clone() });
+            fs.mark(self.rank, op, &phase);
         }
         self.record(|| EventKind::Fault { desc: format!("crash at op {op} in `{phase}`") });
         self.fail(MpiSimError::RankCrashed { rank: self.rank, op_index: op, phase })
@@ -693,14 +696,13 @@ impl Ctx {
     /// the peer was killed by an injected fault.
     fn peer_down(&self, peer: usize, tag: u64) -> MpiSimError {
         if let Some(fs) = &self.fault_shared {
-            let crashed = fs.crashed.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(rec) = &crashed[peer] {
+            if let Some(rec) = fs.get(peer) {
                 return MpiSimError::PeerFailed {
                     rank: self.rank,
                     peer,
                     tag,
                     peer_op: rec.op_index,
-                    peer_phase: rec.phase.clone(),
+                    peer_phase: rec.phase,
                 };
             }
         }
@@ -1354,6 +1356,31 @@ mod tests {
             }
             other => panic!("expected RankCrashed, got {other}"),
         }
+    }
+
+    #[test]
+    fn external_crash_registry_observes_injected_deaths() {
+        let registry = Arc::new(CrashRegistry::new(2));
+        let err = Simulator::new(2)
+            .with_cost(CostModel::zero())
+            .with_faults(FaultPlan::new().crash(1, 0))
+            .with_crash_registry(Arc::clone(&registry))
+            .try_run(|ctx| {
+                ctx.phase("serve", |c| {
+                    if c.rank() == 0 {
+                        c.send(1, 0, vec![1.0f64]);
+                    } else {
+                        let _ = c.recv::<Vec<f64>>(0, 0);
+                    }
+                });
+            })
+            .unwrap_err();
+        assert!(matches!(err, MpiSimError::RankCrashed { rank: 1, .. }));
+        assert_eq!(registry.crashed_ranks(), vec![1]);
+        assert_eq!(registry.survivors(), vec![0]);
+        let info = registry.get(1).expect("record published before death");
+        assert_eq!(info.op_index, 0);
+        assert_eq!(info.phase, "serve");
     }
 
     #[test]

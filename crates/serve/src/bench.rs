@@ -18,11 +18,13 @@
 //! ([`CostModel`](tucker_mpisim::CostModel)), so the emitted numbers are
 //! machine-independent.
 
-use crate::engine::{Engine, EngineConfig, RunConfig, RunReport};
+use crate::engine::{Engine, EngineConfig, Request, RunConfig, RunReport};
 use crate::error::ServeError;
+use crate::router::{Router, TierRunConfig};
 use crate::store::TuckerStore;
-use crate::workload::{synthetic_store, synthetic_trace, WorkloadConfig};
+use crate::workload::{assign_tenants, synthetic_store, synthetic_trace, WorkloadConfig};
 use std::collections::BTreeMap;
+use tucker_mpisim::FaultPlan;
 
 /// Everything `BENCH_pr5.json` records.
 #[derive(Clone, Debug)]
@@ -112,7 +114,7 @@ pub fn run_serve_bench(quick: bool) -> Result<ServeBenchResult, ServeError> {
     let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
     // One worker for both strategies: the queue backs up enough for real
     // batches to form, and busy-time is an apples-to-apples compute total.
-    let open_queue = RunConfig { workers: 1, queue_capacity: usize::MAX, batch_limit: 16 };
+    let open_queue = RunConfig { workers: 1, queue_capacity: usize::MAX, batch_limit: 16, tenant_quota: None };
 
     // Naive: cache off, batch of one.
     let mut naive = Engine::new(
@@ -138,12 +140,12 @@ pub fn run_serve_bench(quick: bool) -> Result<ServeBenchResult, ServeError> {
     // a tiny queue — must reject (typed), never corrupt admitted work.
     let burst: Vec<_> = trace
         .iter()
-        .map(|r| crate::engine::Request { arrival: r.arrival * 0.02, query: r.query.clone() })
+        .map(|r| crate::engine::Request::new(r.arrival * 0.02, r.query.clone()))
         .collect();
     let mut overload =
         Engine::new(TuckerStore::from_tucker(tucker), EngineConfig::default());
     let overload_report = overload
-        .run(&burst, &RunConfig { workers: 1, queue_capacity: 8, batch_limit: 16 })?;
+        .run(&burst, &RunConfig { workers: 1, queue_capacity: 8, batch_limit: 16, tenant_quota: None })?;
     assert_eq!(
         overload_report.completions.len() + overload_report.rejections.len(),
         trace.len(),
@@ -172,14 +174,211 @@ pub fn run_serve_bench(quick: bool) -> Result<ServeBenchResult, ServeError> {
         naive_busy_s: naive_report.busy_seconds,
         batched_busy_s: batched_report.busy_seconds,
         speedup,
-        p50_ms: batched_report.latency_quantile(0.50) * 1e3,
-        p99_ms: batched_report.latency_quantile(0.99) * 1e3,
+        // The gate fails loudly if a run somehow completed nothing instead
+        // of reporting a bogus p99 = 0.
+        p50_ms: batched_report.latency_quantile(0.50).expect("batched run completed requests")
+            * 1e3,
+        p99_ms: batched_report.latency_quantile(0.99).expect("batched run completed requests")
+            * 1e3,
         throughput_qps: batched_report.throughput(),
         mean_batch,
         cache_hits: stats.hits,
         cache_misses: stats.misses,
         overload_completed: overload_report.completions.len(),
         overload_rejected: overload_report.rejections.len(),
+    })
+}
+
+/// Everything `BENCH_pr7.json` records: the replicated tier under three
+/// regimes — healthy, one replica crashed mid-workload, and overload with
+/// tenants and priorities.
+#[derive(Clone, Debug)]
+pub struct FailoverBenchResult {
+    /// Synthetic tensor dimensions.
+    pub shape: Vec<usize>,
+    /// Stored ranks.
+    pub ranks: Vec<usize>,
+    /// Requests in the trace.
+    pub queries: usize,
+    /// Mode-0 shards.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Median latency, healthy tier, milliseconds.
+    pub healthy_p50_ms: f64,
+    /// 99th-percentile latency, healthy tier, milliseconds.
+    pub healthy_p99_ms: f64,
+    /// Completed queries per modeled second, healthy tier.
+    pub healthy_qps: f64,
+    /// Admitted queries lost in the failover run — the headline gate: 0.
+    pub failover_lost: usize,
+    /// Whether every failover-run result was CRC-equal to the unsharded
+    /// engine's answer for the same request.
+    pub failover_crc_identical: bool,
+    /// Worst failover recovery (finish − first failed attempt), virtual
+    /// seconds; 0 when the injected plan never fired.
+    pub failover_recovery_vt_s: f64,
+    /// Failed attempts that were retried elsewhere in the failover run.
+    pub failovers: u64,
+    /// World ranks dead at the end of the failover run.
+    pub dead_ranks: Vec<usize>,
+    /// Completions in the overload run.
+    pub overload_completed: usize,
+    /// Typed rejections (`Overloaded` + `QuotaExceeded`) in the overload run.
+    pub overload_rejected: usize,
+    /// Low-priority requests evicted by high-priority arrivals.
+    pub overload_shed_low: u64,
+    /// Typed per-tenant quota rejections.
+    pub overload_quota_rejected: u64,
+    /// 99th-percentile latency of *admitted* traffic under overload,
+    /// milliseconds — the p99-under-overload gate.
+    pub overload_p99_ms: f64,
+}
+
+impl FailoverBenchResult {
+    /// Deterministic JSON (keys in fixed order).
+    pub fn to_json(&self) -> String {
+        let ints = |v: &[usize]| {
+            v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            concat!(
+                "{{\"bench\":\"failover\",\"shape\":[{shape}],\"ranks\":[{ranks}],",
+                "\"queries\":{queries},\"shards\":{shards},\"replicas\":{replicas},",
+                "\"healthy_p50_ms\":{hp50:.6},\"healthy_p99_ms\":{hp99:.6},",
+                "\"healthy_qps\":{hqps:.3},\"failover_lost\":{lost},",
+                "\"failover_crc_identical\":{crc},",
+                "\"failover_recovery_vt_s\":{rec:.9},\"failovers\":{fo},",
+                "\"dead_ranks\":[{dead}],\"overload_completed\":{oc},",
+                "\"overload_rejected\":{or},\"overload_shed_low\":{shed},",
+                "\"overload_quota_rejected\":{quota},\"overload_p99_ms\":{op99:.6}}}"
+            ),
+            shape = ints(&self.shape),
+            ranks = ints(&self.ranks),
+            queries = self.queries,
+            shards = self.shards,
+            replicas = self.replicas,
+            hp50 = self.healthy_p50_ms,
+            hp99 = self.healthy_p99_ms,
+            hqps = self.healthy_qps,
+            lost = self.failover_lost,
+            crc = self.failover_crc_identical,
+            rec = self.failover_recovery_vt_s,
+            fo = self.failovers,
+            dead = ints(&self.dead_ranks),
+            oc = self.overload_completed,
+            or = self.overload_rejected,
+            shed = self.overload_shed_low,
+            quota = self.overload_quota_rejected,
+            op99 = self.overload_p99_ms,
+        )
+    }
+}
+
+/// Run the replicated-tier benchmark behind `BENCH_pr7.json`.
+///
+/// Four runs over the same seeded trace:
+///
+/// 1. **baseline** — the unsharded engine, for per-request CRC ground truth;
+/// 2. **healthy** — the `shards × replicas` tier, fault-free: must complete
+///    everything bit-identically;
+/// 3. **failover** — the same tier with `plan` armed (default: crash one
+///    replica mid-workload): zero admitted queries may be lost and every
+///    answer must stay CRC-identical to the baseline;
+/// 4. **overload** — the healthy tier fed the trace 50× faster through a
+///    tiny queue with per-tenant quotas and a low-priority mix: sheds typed,
+///    never corrupts admitted work.
+pub fn run_failover_bench(
+    quick: bool,
+    shards: usize,
+    replicas: usize,
+    plan: Option<&FaultPlan>,
+) -> Result<FailoverBenchResult, ServeError> {
+    let wl = if quick {
+        WorkloadConfig {
+            dims: vec![48, 40, 36],
+            ranks: vec![12, 10, 9],
+            requests: 120,
+            ..WorkloadConfig::default()
+        }
+    } else {
+        WorkloadConfig::default()
+    };
+    assert!(shards >= 1 && replicas >= 1, "need at least one shard and replica");
+    let trace = synthetic_trace(&wl);
+    let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
+
+    // Baseline: per-request CRC ground truth from the unsharded engine.
+    let mut single =
+        Engine::new(TuckerStore::from_tucker(tucker.clone()), EngineConfig::default());
+    let single_report = single.run(&trace, &RunConfig::default())?;
+    let baseline = crc_by_index(&single_report);
+
+    // Healthy tier: everything completes, bit-identically.
+    let mut healthy =
+        Router::new(&tucker, shards, replicas, EngineConfig::default(), &FaultPlan::none());
+    let healthy_report = healthy.run(&trace, &TierRunConfig::default());
+    assert_eq!(healthy_report.completions.len(), trace.len(), "healthy tier drops nothing");
+    assert!(healthy_report.failures.is_empty() && healthy_report.rejections.is_empty());
+    for c in &healthy_report.completions {
+        assert_eq!(baseline[&c.index], c.crc, "healthy tier must be bit-identical");
+    }
+
+    // Failover: kill one replica mid-workload (or run the caller's plan).
+    let world = shards * replicas;
+    let default_plan = FaultPlan::new().crash(1 % world, 2);
+    let plan = plan.unwrap_or(&default_plan);
+    let mut faulty = Router::new(&tucker, shards, replicas, EngineConfig::default(), plan);
+    let failover_report = faulty.run(&trace, &TierRunConfig::default());
+    let failover_lost = trace.len() - failover_report.completions.len();
+    let failover_crc_identical =
+        failover_report.completions.iter().all(|c| baseline[&c.index] == c.crc);
+    let dead_ranks = faulty.tier().registry().crashed_ranks();
+
+    // Overload: 500× faster arrivals, 4 tenants, 30% low-priority traffic,
+    // a tiny queue, and per-tenant quotas. The tier has `shards × replicas`
+    // workers, so the squeeze is proportionally harder than the
+    // single-engine overload run.
+    let mut burst: Vec<Request> = trace
+        .iter()
+        .map(|r| Request::new(r.arrival * 0.002, r.query.clone()))
+        .collect();
+    assign_tenants(&mut burst, 4, 0.3, wl.seed);
+    let mut over =
+        Router::new(&tucker, shards, replicas, EngineConfig::default(), &FaultPlan::none());
+    let overload_rc =
+        TierRunConfig { queue_capacity: 4, tenant_quota: Some(2), ..TierRunConfig::default() };
+    let overload_report = over.run(&burst, &overload_rc);
+    assert!(overload_report.failures.is_empty(), "a healthy tier cannot fail queries");
+    assert_eq!(
+        overload_report.completions.len() + overload_report.rejections.len(),
+        trace.len(),
+        "every request either completes or is rejected typed"
+    );
+    for c in &overload_report.completions {
+        assert_eq!(baseline[&c.index], c.crc, "admitted results survive overload intact");
+    }
+
+    let expect = "completed requests exist";
+    Ok(FailoverBenchResult {
+        shape: wl.dims.clone(),
+        ranks: wl.ranks.clone(),
+        queries: trace.len(),
+        shards,
+        replicas,
+        healthy_p50_ms: healthy_report.latency_quantile(0.50).expect(expect) * 1e3,
+        healthy_p99_ms: healthy_report.latency_quantile(0.99).expect(expect) * 1e3,
+        healthy_qps: healthy_report.throughput(),
+        failover_lost,
+        failover_crc_identical,
+        failover_recovery_vt_s: failover_report.failover_recovery_vt.unwrap_or(0.0),
+        failovers: failover_report.completions.iter().map(|c| c.failovers as u64).sum(),
+        dead_ranks,
+        overload_completed: overload_report.completions.len(),
+        overload_rejected: overload_report.rejections.len(),
+        overload_shed_low: over.metrics().counter("serve/query/shed_low"),
+        overload_quota_rejected: over.metrics().counter("serve/query/quota_rejected"),
+        overload_p99_ms: overload_report.latency_quantile(0.99).expect(expect) * 1e3,
     })
 }
 
@@ -200,6 +399,35 @@ mod tests {
         assert!(r.overload_rejected > 0, "overload run should shed load");
         assert!(r.p50_ms <= r.p99_ms);
         assert!(r.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn quick_failover_bench_loses_nothing_and_recovers() {
+        let r = run_failover_bench(true, 2, 2, None).expect("failover bench runs");
+        assert_eq!(r.queries, 120);
+        assert_eq!(r.failover_lost, 0, "killing 1 of 2 replicas must lose zero queries");
+        assert!(r.failover_crc_identical, "failover answers must stay bit-identical");
+        assert!(
+            r.failover_recovery_vt_s > 0.0 && r.failover_recovery_vt_s.is_finite(),
+            "the default plan crashes a replica, so recovery must be measured"
+        );
+        assert_eq!(r.dead_ranks, vec![1], "exactly the injected victim dies");
+        assert!(r.failovers >= 1);
+        assert!(r.overload_rejected > 0, "overload must shed load");
+        assert!(r.overload_shed_low >= 1, "low-priority traffic sheds first");
+        assert!(r.overload_quota_rejected >= 1, "quotas must bite under overload");
+        assert!(r.healthy_p50_ms <= r.healthy_p99_ms);
+        let j = r.to_json();
+        for key in [
+            "\"bench\":\"failover\"",
+            "\"failover_lost\":0",
+            "\"failover_crc_identical\":true",
+            "\"failover_recovery_vt_s\":",
+            "\"dead_ranks\":[1]",
+            "\"overload_p99_ms\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@
 //! *virtual time*: requests carry arrival timestamps, workers advance a
 //! modeled clock by each batch's predicted service time (§3.5-style
 //! `γ·flops` plus transfer terms from [`CostModel`]), and admission control
-//! rejects arrivals that find the queue full with a typed
-//! [`ServeError::Overloaded`]. Everything — batching decisions, latencies,
+//! rejects arrivals that find the queue full (or a tenant over quota)
+//! with a typed [`ServeError::Overloaded`] / [`ServeError::QuotaExceeded`].
+//! Everything — batching decisions, latencies,
 //! throughput — is a pure function of the request trace and config, so
 //! benchmark artifacts are machine-independent and reproducible.
 
@@ -328,7 +329,8 @@ impl<T: IoScalar> Engine<T> {
     /// every admitted request's completion (with a CRC-32 fingerprint of
     /// its result payload — in-flight corruption shows up as a mismatch
     /// against a direct [`Engine::execute`]) and every rejection, which is
-    /// always a typed [`ServeError::Overloaded`].
+    /// always typed: [`ServeError::Overloaded`] for a full queue,
+    /// [`ServeError::QuotaExceeded`] for a tenant over its quota.
     pub fn run(&mut self, requests: &[Request], rc: &RunConfig) -> Result<RunReport, ServeError> {
         assert!(rc.workers > 0, "run: need at least one worker");
         assert!(rc.batch_limit > 0, "run: batch limit must be positive");
@@ -344,6 +346,7 @@ impl<T: IoScalar> Engine<T> {
 
         let mut workers = vec![0.0f64; rc.workers];
         let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut queued_by_tenant: BTreeMap<usize, usize> = BTreeMap::new();
         let mut completions = Vec::new();
         let mut rejections = Vec::new();
         let mut busy_seconds = 0.0;
@@ -366,6 +369,7 @@ impl<T: IoScalar> Engine<T> {
                 };
             if can_dispatch {
                 let head = queue.pop_front().expect("non-empty");
+                *queued_by_tenant.entry(requests[head].tenant).or_insert(1) -= 1;
                 let t0 = free.max(requests[head].arrival);
                 // Batch: queued requests sharing the head's partial spec
                 // that have already arrived by dispatch time.
@@ -377,7 +381,9 @@ impl<T: IoScalar> Engine<T> {
                     if requests[cand].arrival <= t0
                         && self.share_spec(requests[cand].query.normalized(&dims)[0]) == head_spec
                     {
-                        batch.push(queue.remove(i).expect("in range"));
+                        let picked = queue.remove(i).expect("in range");
+                        *queued_by_tenant.entry(requests[picked].tenant).or_insert(1) -= 1;
+                        batch.push(picked);
                     } else {
                         i += 1;
                     }
@@ -406,18 +412,57 @@ impl<T: IoScalar> Engine<T> {
                 let idx = order[next];
                 next += 1;
                 makespan = makespan.max(t);
-                if queue.len() < rc.queue_capacity {
-                    queue.push_back(idx);
-                } else {
+                let tenant = requests[idx].tenant;
+                let tenant_queued = queued_by_tenant.get(&tenant).copied().unwrap_or(0);
+                if rc.tenant_quota.is_some_and(|quota| tenant_queued >= quota) {
                     self.metrics.counter_add("serve/query/rejected", 1);
+                    self.metrics.counter_add("serve/query/quota_rejected", 1);
                     rejections.push(Rejection {
                         index: idx,
                         arrival: t,
-                        error: ServeError::Overloaded {
-                            queued: queue.len(),
-                            capacity: rc.queue_capacity,
+                        error: ServeError::QuotaExceeded {
+                            tenant,
+                            queued: tenant_queued,
+                            quota: rc.tenant_quota.expect("checked above"),
                         },
                     });
+                } else if queue.len() < rc.queue_capacity {
+                    queue.push_back(idx);
+                    *queued_by_tenant.entry(tenant).or_insert(0) += 1;
+                } else {
+                    // Full queue. Shed low first: a high-priority arrival
+                    // evicts the newest queued low-priority request;
+                    // otherwise the arrival itself is rejected.
+                    let evict = if requests[idx].priority == Priority::High {
+                        queue.iter().rposition(|&q| requests[q].priority == Priority::Low)
+                    } else {
+                        None
+                    };
+                    self.metrics.counter_add("serve/query/rejected", 1);
+                    if let Some(pos) = evict {
+                        let victim = queue.remove(pos).expect("in range");
+                        *queued_by_tenant.entry(requests[victim].tenant).or_insert(1) -= 1;
+                        self.metrics.counter_add("serve/query/shed_low", 1);
+                        rejections.push(Rejection {
+                            index: victim,
+                            arrival: requests[victim].arrival,
+                            error: ServeError::Overloaded {
+                                queued: rc.queue_capacity,
+                                capacity: rc.queue_capacity,
+                            },
+                        });
+                        queue.push_back(idx);
+                        *queued_by_tenant.entry(tenant).or_insert(0) += 1;
+                    } else {
+                        rejections.push(Rejection {
+                            index: idx,
+                            arrival: t,
+                            error: ServeError::Overloaded {
+                                queued: queue.len(),
+                                capacity: rc.queue_capacity,
+                            },
+                        });
+                    }
                 }
             } else {
                 // Graceful drain complete: no arrivals left, queue empty.
@@ -448,6 +493,19 @@ pub fn tensor_crc<T: IoScalar>(t: &Tensor<T>) -> u32 {
     sink.0.finish()
 }
 
+/// Scheduling class of a request. Under overload the bounded queue sheds
+/// [`Priority::Low`] traffic first: a high-priority arrival finding the
+/// queue full evicts the newest queued low-priority request instead of
+/// being rejected itself (graceful degradation instead of collapse).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Interactive traffic; shed last.
+    #[default]
+    High,
+    /// Best-effort traffic; shed first under overload.
+    Low,
+}
+
 /// A timestamped request for the serving loop.
 #[derive(Clone, Debug)]
 pub struct Request {
@@ -455,6 +513,17 @@ pub struct Request {
     pub arrival: f64,
     /// The query.
     pub query: Query,
+    /// Tenant the request is billed to, for per-tenant admission quotas.
+    pub tenant: usize,
+    /// Scheduling class under overload.
+    pub priority: Priority,
+}
+
+impl Request {
+    /// A high-priority request from the default tenant.
+    pub fn new(arrival: f64, query: Query) -> Self {
+        Request { arrival, query, tenant: 0, priority: Priority::High }
+    }
 }
 
 /// Serving-loop shape.
@@ -466,6 +535,21 @@ pub struct RunConfig {
     pub queue_capacity: usize,
     /// Max queries dispatched as one batch.
     pub batch_limit: usize,
+    /// Per-tenant cap on queued requests; `None` disables quotas. A tenant
+    /// at its cap gets a typed [`ServeError::QuotaExceeded`] even when the
+    /// queue itself has room.
+    pub tenant_quota: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            workers: 1,
+            queue_capacity: usize::MAX,
+            batch_limit: 16,
+            tenant_quota: None,
+        }
+    }
 }
 
 /// One admitted request, served to completion.
@@ -494,7 +578,8 @@ pub struct Rejection {
     pub index: usize,
     /// Arrival time.
     pub arrival: f64,
-    /// Always [`ServeError::Overloaded`].
+    /// [`ServeError::Overloaded`] (full queue, or a low-priority request
+    /// shed to admit a high-priority one) or [`ServeError::QuotaExceeded`].
     pub error: ServeError,
 }
 
@@ -519,14 +604,18 @@ impl RunReport {
         l
     }
 
-    /// Exact latency quantile (0.0 ≤ q ≤ 1.0) by nearest-rank.
-    pub fn latency_quantile(&self, q: f64) -> f64 {
+    /// Exact latency quantile (0.0 ≤ q ≤ 1.0) by nearest-rank. Returns
+    /// `None` when nothing completed (e.g. a rejection-only overload run) —
+    /// callers must not read that as "p99 = 0" — or when the quantile is
+    /// not finite.
+    pub fn latency_quantile(&self, q: f64) -> Option<f64> {
         let l = self.latencies_sorted();
         if l.is_empty() {
-            return 0.0;
+            return None;
         }
         let rank = ((q * l.len() as f64).ceil() as usize).clamp(1, l.len());
-        l[rank - 1]
+        let v = l[rank - 1];
+        v.is_finite().then_some(v)
     }
 
     /// Completed requests per virtual second.

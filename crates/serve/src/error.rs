@@ -14,8 +14,38 @@ pub enum ServeError {
         /// Queue capacity.
         capacity: usize,
     },
+    /// Admission control rejected the request: its tenant already has its
+    /// full quota of requests queued. Distinct from [`ServeError::Overloaded`]
+    /// so a noisy neighbor sees *its* limit, not a full-cluster signal.
+    QuotaExceeded {
+        /// The tenant over its limit.
+        tenant: usize,
+        /// Requests this tenant had queued at rejection time.
+        queued: usize,
+        /// The per-tenant queue quota.
+        quota: usize,
+    },
     /// The executor is draining for shutdown and accepts no new work.
     Draining,
+    /// A replicated query exhausted its retry budget: every attempt on the
+    /// shard's replicas failed (crashed, dropped, or failed integrity).
+    ReplicasExhausted {
+        /// The shard whose replicas were exhausted.
+        shard: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Replicas of the shard known dead when the query gave up.
+        dead: Vec<usize>,
+    },
+    /// A replicated query ran past its per-query timeout while failing over.
+    Timeout {
+        /// The shard being retried when time ran out.
+        shard: usize,
+        /// Virtual seconds elapsed since dispatch.
+        elapsed: f64,
+        /// The configured per-query budget.
+        budget: f64,
+    },
     /// The query is malformed or out of bounds for the store's dimensions.
     BadQuery(String),
     /// The underlying store failed to open or verify (includes checksum
@@ -29,7 +59,24 @@ impl fmt::Display for ServeError {
             ServeError::Overloaded { queued, capacity } => {
                 write!(f, "overloaded: {queued}/{capacity} requests queued, admission denied")
             }
+            ServeError::QuotaExceeded { tenant, queued, quota } => {
+                write!(f, "tenant {tenant} over quota: {queued}/{quota} requests queued")
+            }
             ServeError::Draining => write!(f, "executor is draining; no new requests accepted"),
+            ServeError::ReplicasExhausted { shard, attempts, dead } => {
+                write!(
+                    f,
+                    "shard {shard}: all replicas exhausted after {attempts} attempts \
+                     (dead replicas: {dead:?})"
+                )
+            }
+            ServeError::Timeout { shard, elapsed, budget } => {
+                write!(
+                    f,
+                    "query timed out failing over on shard {shard}: \
+                     {elapsed:.6}s elapsed of {budget:.6}s budget"
+                )
+            }
             ServeError::BadQuery(msg) => write!(f, "bad query: {msg}"),
             ServeError::Io(e) => write!(f, "store error: {e}"),
         }

@@ -10,9 +10,15 @@
 //! - [`plan`] — the §3.5-style cost model choosing contraction order;
 //! - [`cache`] — deterministic byte-budgeted LRU of partial contractions;
 //! - [`engine`] — batched execution plus a deterministic virtual-time
-//!   serving loop with bounded-queue admission control;
+//!   serving loop with bounded-queue admission control, per-tenant quotas,
+//!   and shed-low-first priorities;
+//! - [`replica`] — mode-0 sharding ([`ShardMap`]) and the replicated rank
+//!   tier with mpisim fault interpretation and a shared crash registry;
+//! - [`router`] — consistent-hash routing, failover with capped
+//!   exponential backoff, per-query timeouts, and mode-0 reassembly;
 //! - [`workload`] — seeded synthetic request traces;
-//! - [`bench`] — the `bench serve` harness behind `BENCH_pr5.json`.
+//! - [`bench`] — the `bench serve` / `serve-bench --shards` harnesses
+//!   behind `BENCH_pr5.json` and `BENCH_pr7.json`.
 //!
 //! The engine's default path ([`OrderPolicy::Exact`]) is **bit-identical**
 //! to slicing `TuckerTensor::reconstruct()` — see the determinism argument
@@ -24,17 +30,23 @@ pub mod engine;
 pub mod error;
 pub mod plan;
 pub mod query;
+pub mod replica;
+pub mod router;
 pub mod store;
 pub mod workload;
 
-pub use bench::{run_serve_bench, ServeBenchResult};
+pub use bench::{run_failover_bench, run_serve_bench, FailoverBenchResult, ServeBenchResult};
 pub use cache::{CacheStats, ContractionCache, PartialKey};
 pub use engine::{
-    tensor_crc, BatchOutput, Completion, Engine, EngineConfig, QueryCost, QueryOutput, Rejection,
-    Request, RunConfig, RunReport,
+    tensor_crc, BatchOutput, Completion, Engine, EngineConfig, Priority, QueryCost, QueryOutput,
+    Rejection, Request, RunConfig, RunReport,
 };
 pub use error::ServeError;
 pub use plan::{plan, OrderPolicy, QueryPlan};
 pub use query::{ModeSel, Query, QueryKind};
+pub use replica::{ReplicaTier, ShardMap};
+pub use router::{
+    RetryPolicy, Router, TierCompletion, TierFailure, TierReport, TierRunConfig,
+};
 pub use store::{open_any, AnyStore, TuckerStore};
-pub use workload::{synthetic_store, synthetic_trace, WorkloadConfig};
+pub use workload::{assign_tenants, synthetic_store, synthetic_trace, WorkloadConfig};

@@ -166,9 +166,27 @@ pub fn synthetic_trace(cfg: &WorkloadConfig) -> Vec<Request> {
                 }
             }
         }
-        out.push(Request { arrival: t, query: Query { sel } });
+        out.push(Request::new(t, Query { sel }));
     }
     out
+}
+
+/// Assign tenants and priorities to an existing trace in a second seeded
+/// pass: tenant uniform over `tenants`, priority low with probability
+/// `low_fraction`. A separate RNG keeps arrivals and queries bit-identical
+/// to the plain [`synthetic_trace`] output, so multi-tenant runs stay
+/// CRC-comparable with single-tenant ones.
+pub fn assign_tenants(trace: &mut [Request], tenants: usize, low_fraction: f64, seed: u64) {
+    assert!(tenants > 0, "need at least one tenant");
+    let mut rng = SplitMix64::new(seed ^ 0x7E4A_4E75_0000_0001);
+    for r in trace {
+        r.tenant = rng.below(tenants);
+        r.priority = if rng.f64() < low_fraction {
+            crate::engine::Priority::Low
+        } else {
+            crate::engine::Priority::High
+        };
+    }
 }
 
 #[cfg(test)]

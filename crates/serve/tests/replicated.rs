@@ -1,0 +1,162 @@
+//! Property tests for the replicated tier.
+//!
+//! Two load-bearing guarantees, checked over random shard/replica layouts:
+//!
+//! 1. **Bit-identity** — a healthy tier answers every query CRC-identically
+//!    to the single unsharded engine, for any layout and workload.
+//! 2. **Chaos safety** — under arbitrary injected fault plans (crashes,
+//!    drops, delays, payload corruption), the tier never hangs, never
+//!    returns an answer whose CRC differs from ground truth, and every
+//!    admitted query resolves to either a completion or a *typed* error.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+use tucker_mpisim::FaultPlan;
+use tucker_serve::workload::{synthetic_store, synthetic_trace, WorkloadConfig};
+use tucker_serve::{
+    Engine, EngineConfig, Request, RetryPolicy, Router, RunConfig, ServeError, TierRunConfig,
+    TuckerStore,
+};
+
+/// Ground-truth per-request CRCs from the unsharded engine.
+fn baseline_crcs(wl: &WorkloadConfig, trace: &[Request]) -> BTreeMap<usize, u32> {
+    let mut engine = Engine::new(
+        TuckerStore::from_tucker(synthetic_store::<f64>(&wl.dims, &wl.ranks)),
+        EngineConfig::default(),
+    );
+    let report = engine.run(trace, &RunConfig::default()).expect("baseline runs");
+    assert_eq!(report.completions.len(), trace.len());
+    report.completions.iter().map(|c| (c.index, c.crc)).collect()
+}
+
+fn workload(d0: usize, d1: usize, d2: usize, requests: usize, seed: u64) -> WorkloadConfig {
+    let rank = |d: usize| (d / 2).clamp(2, 6);
+    WorkloadConfig {
+        dims: vec![d0, d1, d2],
+        ranks: vec![rank(d0), rank(d1), rank(d2)],
+        requests,
+        seed,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// Raw material for one injected fault; shaped against the layout in-body.
+type RawFault = (usize, usize, u64, usize, u32);
+
+fn layout_case() -> impl Strategy<Value = (usize, usize, usize, u64, usize, usize)> {
+    // dims[0], dims[1], dims[2], trace seed, shards, replicas
+    (8usize..32, 6usize..16, 5usize..12, 0u64..1 << 48, 1usize..4, 1usize..4)
+}
+
+fn fault_case() -> impl Strategy<Value = Vec<RawFault>> {
+    // kind selector, rank raw, op, element raw, bit raw
+    proptest::collection::vec((0usize..4, 0usize..64, 0u64..12, 0usize..512, 0u32..64), 0..7)
+}
+
+fn shape_plan(raw: &[RawFault], world: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for &(kind, rank, op, elem, bit) in raw {
+        let rank = rank % world;
+        plan = match kind {
+            0 => plan.crash(rank, op),
+            1 => plan.drop_msg(rank, op, 1),
+            2 => plan.delay(rank, op, (op as f64 + 1.0) * 1e-4, Duration::ZERO),
+            _ => plan.corrupt(rank, op, elem, bit),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A healthy tier of any layout is indistinguishable (to the CRC) from
+    /// the unsharded engine.
+    #[test]
+    fn healthy_tier_matches_single_engine(
+        (d0, d1, d2, seed, shards, replicas) in layout_case()
+    ) {
+        let shards = shards.min(d0);
+        let wl = workload(d0, d1, d2, 24, seed);
+        let trace = synthetic_trace(&wl);
+        let truth = baseline_crcs(&wl, &trace);
+
+        let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
+        let mut router =
+            Router::new(&tucker, shards, replicas, EngineConfig::default(), &FaultPlan::none());
+        let report = router.run(&trace, &TierRunConfig::default());
+
+        prop_assert!(report.failures.is_empty() && report.rejections.is_empty());
+        prop_assert_eq!(report.completions.len(), trace.len());
+        for c in &report.completions {
+            prop_assert_eq!(c.crc, truth[&c.index], "request {} diverged", c.index);
+        }
+        prop_assert!(report.failover_recovery_vt.is_none());
+    }
+
+    /// Under arbitrary fault plans the tier degrades only in typed,
+    /// CRC-safe ways: every query resolves, completions match ground truth
+    /// bit-for-bit, failures are `ReplicasExhausted` or `Timeout`.
+    #[test]
+    fn chaos_never_returns_wrong_bits_or_untyped_errors(
+        (d0, d1, d2, seed, shards, replicas) in layout_case(),
+        raw_faults in fault_case(),
+    ) {
+        let shards = shards.min(d0);
+        let wl = workload(d0, d1, d2, 24, seed);
+        let trace = synthetic_trace(&wl);
+        let truth = baseline_crcs(&wl, &trace);
+
+        let world = shards * replicas;
+        let plan = shape_plan(&raw_faults, world);
+        let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
+        let mut router =
+            Router::new(&tucker, shards, replicas, EngineConfig::default(), &plan);
+        // A tight retry budget keeps adversarial plans from inflating the
+        // run; the tier must still resolve every query, typed.
+        let rc = TierRunConfig {
+            retry: RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
+            ..TierRunConfig::default()
+        };
+        let report = router.run(&trace, &rc);
+
+        // Every admitted query resolves exactly once (no hangs, no loss).
+        prop_assert!(report.rejections.is_empty(), "unbounded queue rejects nothing");
+        prop_assert_eq!(
+            report.completions.len() + report.failures.len(),
+            trace.len(),
+            "every query must resolve"
+        );
+        let mut seen = vec![false; trace.len()];
+        for c in &report.completions {
+            prop_assert!(!seen[c.index]);
+            seen[c.index] = true;
+            // The headline: a served answer is bit-identical to ground
+            // truth no matter what the wire did.
+            prop_assert_eq!(c.crc, truth[&c.index], "request {} corrupted", c.index);
+        }
+        for f in &report.failures {
+            prop_assert!(!seen[f.index]);
+            seen[f.index] = true;
+            prop_assert!(
+                matches!(
+                    f.error,
+                    ServeError::ReplicasExhausted { .. } | ServeError::Timeout { .. }
+                ),
+                "untyped or unexpected failure: {}",
+                f.error
+            );
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+
+        // Crashes recorded in the registry are exactly the `Crash` faults
+        // that actually fired; failures may only happen when faults exist.
+        if plan.is_empty() {
+            prop_assert!(report.failures.is_empty());
+            prop_assert!(router.tier().registry().crashed_ranks().is_empty());
+        }
+        // Virtual clocks stay finite: no runaway backoff loops.
+        prop_assert!(report.makespan.is_finite());
+    }
+}

@@ -33,7 +33,7 @@ fn overload_rejects_typed_and_preserves_admitted_results() {
     // Ground truth CRCs from an uncontended run that admits everything.
     let mut calm = engine_for(&wl);
     let calm_report = calm
-        .run(&trace, &RunConfig { workers: 4, queue_capacity: usize::MAX, batch_limit: 8 })
+        .run(&trace, &RunConfig { workers: 4, queue_capacity: usize::MAX, batch_limit: 8, tenant_quota: None })
         .expect("calm run");
     assert_eq!(calm_report.completions.len(), trace.len());
     assert!(calm_report.rejections.is_empty());
@@ -43,11 +43,11 @@ fn overload_rejects_typed_and_preserves_admitted_results() {
     // Burst the same queries at one slow worker behind a 4-deep queue.
     let burst: Vec<Request> = trace
         .iter()
-        .map(|r| Request { arrival: r.arrival * 0.01, query: r.query.clone() })
+        .map(|r| Request::new(r.arrival * 0.01, r.query.clone()))
         .collect();
     let mut hot = engine_for(&wl);
     let report = hot
-        .run(&burst, &RunConfig { workers: 1, queue_capacity: 4, batch_limit: 4 })
+        .run(&burst, &RunConfig { workers: 1, queue_capacity: 4, batch_limit: 4, tenant_quota: None })
         .expect("overloaded run still completes");
 
     assert!(!report.rejections.is_empty(), "the burst must overload the queue");
@@ -90,10 +90,10 @@ fn drain_completes_everything_after_arrivals_stop() {
     // All requests arrive at once at a single worker with room to queue:
     // the loop must drain the whole backlog after the last arrival.
     let all_at_once: Vec<Request> =
-        trace.iter().map(|r| Request { arrival: 0.0, query: r.query.clone() }).collect();
+        trace.iter().map(|r| Request::new(0.0, r.query.clone())).collect();
     let mut engine = engine_for(&wl);
     let report = engine
-        .run(&all_at_once, &RunConfig { workers: 1, queue_capacity: usize::MAX, batch_limit: 8 })
+        .run(&all_at_once, &RunConfig { workers: 1, queue_capacity: usize::MAX, batch_limit: 8, tenant_quota: None })
         .expect("drain run");
     assert!(report.rejections.is_empty());
     assert_eq!(report.completions.len(), trace.len());
@@ -147,7 +147,7 @@ fn open_queue_run_matches_direct_execution() {
     let trace = synthetic_trace(&wl);
     let mut served = engine_for(&wl);
     let report = served
-        .run(&trace, &RunConfig { workers: 2, queue_capacity: usize::MAX, batch_limit: 6 })
+        .run(&trace, &RunConfig { workers: 2, queue_capacity: usize::MAX, batch_limit: 6, tenant_quota: None })
         .expect("run");
     let mut direct = engine_for(&wl);
     for c in &report.completions {

@@ -128,3 +128,44 @@ for key in ("naive_busy_s", "batched_busy_s", "p50_ms", "p99_ms", "throughput_qp
     assert math.isfinite(r[key]) and r[key] > 0, f"degenerate {key}: {r[key]}"
 print("serve smoke: verified queries + schema-valid benchmark OK")
 PY
+
+# Failover smoke: the replicated tier must survive killing 1 of 2 replicas
+# mid-workload with zero lost queries, name the dead rank, and measure a
+# recovery time. All gates are virtual-time, so they hold in --quick mode.
+failover_json="$ckpt/bench_pr7_smoke.json"
+if ! out="$("$tucker" serve-bench --quick --shards 2 --replicas 2 \
+        --inject crash:rank=1,op=2 --out "$failover_json" 2>&1)"; then
+    echo "failover smoke: replicated serve-bench failed: $out" >&2
+    exit 1
+fi
+if ! grep -q "lost 0 of" <<<"$out"; then
+    echo "failover smoke: queries were lost during failover: $out" >&2
+    exit 1
+fi
+if ! grep -q "dead ranks \[1\]" <<<"$out"; then
+    echo "failover smoke: dead rank not named: $out" >&2
+    exit 1
+fi
+target/release/bench failover --quick --out "$failover_json"
+python3 - "$failover_json" <<'PY'
+import json, math, sys
+r = json.load(open(sys.argv[1]))
+for key in ("bench", "shape", "ranks", "queries", "shards", "replicas",
+            "healthy_p50_ms", "healthy_p99_ms", "healthy_qps",
+            "failover_lost", "failover_crc_identical", "failover_recovery_vt_s",
+            "failovers", "dead_ranks", "overload_completed", "overload_rejected",
+            "overload_shed_low", "overload_quota_rejected", "overload_p99_ms"):
+    assert key in r, f"missing key {key}: {r}"
+assert r["bench"] == "failover"
+assert r["failover_lost"] == 0, "admitted queries were lost during failover"
+assert r["failover_crc_identical"] is True, "failover answers diverged from the engine"
+assert r["failover_recovery_vt_s"] > 0, "no failover recovery was measured"
+assert r["dead_ranks"] == [1], f"unexpected dead ranks: {r['dead_ranks']}"
+assert r["overload_rejected"] > 0, "overload run shed no load"
+assert r["overload_shed_low"] > 0, "no low-priority shedding"
+assert r["overload_quota_rejected"] > 0, "tenant quotas never fired"
+assert r["overload_p99_ms"] <= 50.0 * r["healthy_p99_ms"], "p99-under-overload gate"
+for key in ("healthy_p50_ms", "healthy_p99_ms", "healthy_qps", "overload_p99_ms"):
+    assert math.isfinite(r[key]) and r[key] > 0, f"degenerate {key}: {r[key]}"
+print("failover smoke: zero lost, rank 1 dead, recovery measured, schema OK")
+PY
