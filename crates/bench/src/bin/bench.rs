@@ -17,6 +17,12 @@
 //! enforce the batched ≥ 2x naive gate — the clock is modeled, so the
 //! numbers carry no host noise.
 //!
+//! `bench randomized` — the PR8 randomized-sketch gate (DESIGN.md §15):
+//! end-to-end fixed-rank ST-HOSVD with `--svd randomized` versus the Gram
+//! and QR paths on a low-rank synthetic, the surrogate error ladder, and
+//! the cross-grid bit-identity check, written to `BENCH_pr8.json`. Full
+//! mode enforces ≥3x speedup over Gram and error within 1.5x of QR-SVD.
+//!
 //! `--quick` shrinks the shapes for the CI smoke run (`scripts/ci.sh`);
 //! full mode additionally enforces the PR3 acceptance gate (the
 //! register-tiled engine must beat the reference GEMM by ≥2x at the
@@ -38,7 +44,7 @@ use tucker_mpisim::{CostModel, Simulator};
 use tucker_tensor::{ttm, Tensor};
 
 const USAGE: &str =
-    "usage: bench kernels|metrics-overhead|serve|failover [--quick] [--out FILE.json]";
+    "usage: bench kernels|metrics-overhead|serve|failover|randomized [--quick] [--out FILE.json]";
 
 /// One output record: a named measurement at a shape and precision.
 struct Rec {
@@ -51,9 +57,17 @@ struct Rec {
 
 impl Rec {
     fn json(&self) -> String {
+        // Fixed-point for throughput/time readings; scientific for the
+        // small relative errors the randomized gate records.
+        let v = self.metric.1;
+        let num = if v == 0.0 || v.abs() >= 1e-3 {
+            format!("{v:.4}")
+        } else {
+            format!("{v:.4e}")
+        };
         format!(
-            "{{\"bench\":\"{}\",\"shape\":\"{}\",\"precision\":\"{}\",\"{}\":{:.4}}}",
-            self.bench, self.shape, self.precision, self.metric.0, self.metric.1
+            "{{\"bench\":\"{}\",\"shape\":\"{}\",\"precision\":\"{}\",\"{}\":{}}}",
+            self.bench, self.shape, self.precision, self.metric.0, num
         )
     }
 }
@@ -240,6 +254,215 @@ fn bench_sthosvd<T: Scalar>(quick: bool, recs: &mut Vec<Rec>) {
 }
 
 /// `bench metrics-overhead`: one parallel ST-HOSVD on the simulated machine,
+/// Low-rank-plus-noise synthetic tensor: a rank-`r` signal with
+/// geometrically decaying term weights and an `eps`-sized dense tail — the
+/// regime where the randomized range finder is designed to win.
+fn low_rank_tensor(dims: &[usize], rank: usize, eps: f64, seed: u64) -> Tensor<f64> {
+    let factors: Vec<Matrix<f64>> = dims
+        .iter()
+        .enumerate()
+        .map(|(n, &d)| {
+            Matrix::from_fn(d, rank, |i, t| {
+                let h = tucker_linalg::splitmix64_at(seed + 101 * n as u64, i as u64, t as u64);
+                (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+        })
+        .collect();
+    let mut lin = 0u64;
+    Tensor::from_fn(dims, |idx| {
+        lin += 1;
+        let mut v = 0.0;
+        for t in 0..rank {
+            let mut p = (0.5f64).powi(t as i32);
+            for (n, &i) in idx.iter().enumerate() {
+                p *= factors[n][(i, t)];
+            }
+            v += p;
+        }
+        let h = tucker_linalg::splitmix64_at(seed ^ 0x00FF_00FF, lin, 2);
+        v + eps * ((h >> 11) as f64 / (1u64 << 53) as f64 - 0.5)
+    })
+}
+
+/// `bench randomized` — the PR8 gate (DESIGN.md §15): end-to-end fixed-rank
+/// ST-HOSVD with the randomized range-finder driver versus the Gram and QR
+/// paths on a low-rank synthetic tensor, the sketch-vs-deterministic error
+/// ladder on the surrogate datasets (the former `ext_randomized` study),
+/// and the cross-grid bit-identity check of the distributed driver. Full
+/// mode enforces ≥3x speedup over Gram, error within 1.5x of QR-SVD, and
+/// bit-identity; quick mode only checks bit-identity and sane readings.
+fn run_randomized(quick: bool, out_path: &str) {
+    use tucker_linalg::randomized::{randomized_svd_left_blocked, RandomizedSvdConfig};
+    use tucker_mpisim::Comm;
+    use tucker_tensor::Unfolding;
+
+    let mut recs: Vec<Rec> = Vec::new();
+    let dims: &[usize] = if quick { &[96, 24, 24] } else { &[384, 48, 48] };
+    let ranks = vec![8usize, 8, 8];
+    let shape = format!("{}x{}x{}->r8", dims[0], dims[1], dims[2]);
+    let x = low_rank_tensor(dims, 8, 1e-6, 41);
+    let iters = if quick { 1 } else { 3 };
+
+    let time_and_err = |method: SvdMethod, q: usize| -> (f64, f64) {
+        let cfg = SthosvdConfig::with_ranks(ranks.clone())
+            .method(method)
+            .randomized(RandomizedSvdConfig { power_iterations: q, ..Default::default() });
+        let mut err = 0.0;
+        let t = time_best(iters, || {
+            let out = sthosvd_with_info(&x, &cfg).expect("sthosvd failed");
+            err = out.tucker.relative_error(&x).to_f64();
+        });
+        (t, err)
+    };
+    let (t_gram, err_gram) = time_and_err(SvdMethod::Gram, 0);
+    let (t_qr, err_qr) = time_and_err(SvdMethod::Qr, 0);
+    let (t_rand, err_rand) = time_and_err(SvdMethod::Randomized, 1);
+    let (t_skg, err_skg) = time_and_err(SvdMethod::SketchedGram, 0);
+    for (name, t, err) in [
+        ("sthosvd_gram", t_gram, err_gram),
+        ("sthosvd_qr", t_qr, err_qr),
+        ("sthosvd_randomized_q1", t_rand, err_rand),
+        ("sthosvd_sketched_gram", t_skg, err_skg),
+    ] {
+        recs.push(Rec {
+            bench: name.into(),
+            shape: shape.clone(),
+            precision: "double",
+            metric: ("ms", t * 1e3),
+        });
+        recs.push(Rec {
+            bench: format!("{name}_error"),
+            shape: shape.clone(),
+            precision: "double",
+            metric: ("err", err),
+        });
+    }
+    let speedup = t_gram / t_rand;
+    let err_ratio = err_rand / err_qr;
+    recs.push(Rec {
+        bench: "randomized_speedup_vs_gram".into(),
+        shape: shape.clone(),
+        precision: "double",
+        metric: ("x", speedup),
+    });
+    recs.push(Rec {
+        bench: "randomized_error_ratio_vs_qr".into(),
+        shape: shape.clone(),
+        precision: "double",
+        metric: ("x", err_ratio),
+    });
+    println!(
+        "randomized vs gram: {speedup:.2}x ({:.1}ms / {:.1}ms), error ratio vs qr {err_ratio:.3}",
+        t_rand * 1e3,
+        t_gram * 1e3
+    );
+
+    // Error ladder on the surrogate datasets (absorbed ext_randomized):
+    // fast-decaying combustion-like spectra match the deterministic methods
+    // at q = 0; flatter video-like spectra need the power iterations.
+    let ladder: &[(&str, Tensor<f64>, Vec<usize>)] = &if quick {
+        [
+            ("hcci_like", tucker_data::hcci_surrogate::<f64>(&[16, 16, 8, 16], 21), vec![4, 4, 3, 4]),
+            ("video_like", tucker_data::video_surrogate::<f64>(&[16, 24, 3, 20], 22), vec![4, 4, 2, 4]),
+        ]
+    } else {
+        [
+            ("hcci_like", tucker_data::hcci_surrogate::<f64>(&[40, 40, 20, 40], 21), vec![6, 6, 4, 6]),
+            ("video_like", tucker_data::video_surrogate::<f64>(&[40, 64, 3, 50], 22), vec![8, 8, 3, 8]),
+        ]
+    };
+    for (name, y, r) in ladder {
+        let ref_err = {
+            let cfg = SthosvdConfig::with_ranks(r.clone()).method(SvdMethod::Qr);
+            let tk = tucker_core::sthosvd(y, &cfg).unwrap();
+            tk.relative_error(y).to_f64()
+        };
+        recs.push(Rec {
+            bench: format!("{name}_qr_error"),
+            shape: format!("{:?}", y.dims()),
+            precision: "double",
+            metric: ("err", ref_err),
+        });
+        for q in 0..3usize {
+            let cfg = SthosvdConfig::with_ranks(r.clone())
+                .method(SvdMethod::Randomized)
+                .randomized(RandomizedSvdConfig { power_iterations: q, ..Default::default() });
+            let tk = tucker_core::sthosvd(y, &cfg).unwrap();
+            recs.push(Rec {
+                bench: format!("{name}_randomized_q{q}_error"),
+                shape: format!("{:?}", y.dims()),
+                precision: "double",
+                metric: ("err", tk.relative_error(y).to_f64()),
+            });
+        }
+    }
+
+    // Bit-identity of the distributed driver across task counts and grid
+    // shapes: the sketch SVD of a fixed tensor must be bitwise equal to the
+    // sequential canonical driver on 1, 4, 6, and 7 simulated tasks.
+    let bx = low_rank_tensor(&[48, 24, 32], 6, 1e-6, 77);
+    let bcfg = RandomizedSvdConfig { power_iterations: 1, ..Default::default() };
+    let mut identical = true;
+    for n in 0..3 {
+        let whole = Unfolding::new(&bx, n).to_matrix();
+        let (u_seq, s_seq) = randomized_svd_left_blocked(whole.as_ref(), 6, &bcfg).unwrap();
+        for grid_dims in [[1usize, 1, 1], [2, 1, 2], [2, 3, 1], [7, 1, 1]] {
+            let grid = ProcessorGrid::new(&grid_dims);
+            let out = Simulator::new(grid.total())
+                .with_cost(CostModel::zero())
+                .run(|ctx| {
+                    let dt = DistTensor::scatter_from(&bx, &grid, ctx.rank());
+                    let mut world = Comm::world(ctx);
+                    tucker_dtensor::parallel_sketch_svd(ctx, &mut world, &dt, n, 6, &bcfg)
+                        .expect("parallel sketch failed")
+                });
+            for (u, s) in &out.results {
+                if u != &u_seq || s != &s_seq {
+                    identical = false;
+                    eprintln!("bench randomized: bit-identity broken on grid {grid_dims:?} mode {n}");
+                }
+            }
+        }
+    }
+    recs.push(Rec {
+        bench: "randomized_bit_identical".into(),
+        shape: "48x24x32 grids {1,4,6,7}".into(),
+        precision: "double",
+        metric: ("x", if identical { 1.0 } else { 0.0 }),
+    });
+
+    for r in &recs {
+        println!("{}", r.json());
+        let v = r.metric.1;
+        if !v.is_finite() || v < 0.0 {
+            eprintln!("bench randomized: {} produced a degenerate reading {v}", r.bench);
+            std::process::exit(1);
+        }
+    }
+    if !identical {
+        eprintln!("bench randomized: distributed sketch SVD is not bit-identical");
+        std::process::exit(1);
+    }
+    // PR8 acceptance gates, full mode only (quick runs on unknown CI hosts).
+    if !quick {
+        if speedup < 3.0 {
+            eprintln!("bench randomized: speedup {speedup:.2}x over Gram is below the 3x gate");
+            std::process::exit(1);
+        }
+        if err_ratio > 1.5 {
+            eprintln!("bench randomized: error ratio {err_ratio:.3} vs QR exceeds the 1.5x gate");
+            std::process::exit(1);
+        }
+    }
+    let body: Vec<String> = recs.iter().map(|r| format!("  {}", r.json())).collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("bench randomized: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {} records to {out_path}", recs.len());
+}
+
 /// timed with the metrics registries off and on. Both runs are identical in
 /// every other respect (same tensor, same config, same cost model), so the
 /// difference isolates the cost of the counters, the collective meters, and
@@ -478,6 +701,7 @@ fn main() {
         && sub != Some("metrics-overhead")
         && sub != Some("serve")
         && sub != Some("failover")
+        && sub != Some("randomized")
     {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -487,6 +711,7 @@ fn main() {
         Some("kernels") => "BENCH_pr6.json",
         Some("serve") => "BENCH_pr5.json",
         Some("failover") => "BENCH_pr7.json",
+        Some("randomized") => "BENCH_pr8.json",
         _ => "BENCH_pr4.json",
     }
     .to_string();
@@ -497,6 +722,10 @@ fn main() {
     }
     if sub == Some("serve") {
         run_serve(quick, &out_path);
+        return;
+    }
+    if sub == Some("randomized") {
+        run_randomized(quick, &out_path);
         return;
     }
     if sub == Some("failover") {

@@ -71,6 +71,7 @@ fn measured_sweep(tracer: &BenchTracer, sink: &MetricsSink, topo: Option<ThreadT
                         method: cfg.method,
                         tree: cfg.tree,
                         bytes: 8,
+                        randomized: cfg.randomized,
                         tolerance: 0.05,
                     },
                     &out.stats,

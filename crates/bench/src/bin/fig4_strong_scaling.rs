@@ -60,6 +60,7 @@ fn measured<T: Scalar>(
                 method: cfg.method,
                 tree: cfg.tree,
                 bytes: T::BYTES,
+                randomized: cfg.randomized,
                 tolerance: 0.05,
             },
             &out.stats,

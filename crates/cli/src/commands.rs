@@ -12,7 +12,7 @@ use tucker_core::{
 };
 use tucker_data::{hcci_surrogate, hash_noise, sp_surrogate, video_surrogate};
 use tucker_dtensor::{DistTensor, ProcessorGrid};
-use tucker_linalg::Scalar;
+use tucker_linalg::{RandomizedSvdConfig, Scalar};
 use tucker_mpisim::{
     chrome_trace_json, text_timeline, CostModel, FaultPlan, MetricsRegistry, Simulator,
     ThreadTopology, TraceConfig,
@@ -29,9 +29,14 @@ pub const USAGE: &str = "\
 usage:
   tucker generate <out.tns> --kind hcci|sp|video|random --dims 40x40x33x40 [--seed N] [--f32]
   tucker compress <in.tns> <out.tkr> [--tol 1e-4 | --ranks 5x5x3x5]
-                  [--method qr|gram|gram-mixed|randomized] [--order forward|backward|auto]
+                  [--svd qr|gram|gram-mixed|randomized|sketched-gram]
+                  [--oversample P --power Q --sketch-rows S --sketch-seed N]
+                  [--order forward|backward|auto]
                   (--order auto searches mode orderings against the cost
                    model; it requires --ranks)
+                  (--svd randomized needs --ranks; --oversample/--power tune
+                   its sketch, --sketch-rows the sketched-gram sample count,
+                   0 = auto; --method is an alias of --svd)
   tucker decompress <in.tkr> <out.tns>
   tucker query <store.tkr> --slab SPEC [--out slab.tns] [--no-cache]
                   [--order-policy exact|cost] [--verify]
@@ -48,7 +53,8 @@ usage:
                    --inject arms an mpisim fault plan against world ranks,
                    e.g. 'crash:rank=1,op=2' or 'flaky:0:0..40:5')
   tucker simulate [in.tns] --grid 2x2x2 [--kind hcci|sp|video|random --dims 32x32x32 --seed N]
-                  [--tol 1e-4 | --ranks 5x5x5] [--method qr|gram|gram-mixed|randomized]
+                  [--tol 1e-4 | --ranks 5x5x5] [--svd qr|gram|gram-mixed|randomized|sketched-gram]
+                  [--oversample P --power Q --sketch-rows S --sketch-seed N]
                   [--order forward|backward|auto] [--trace out.json] [--timeline out.txt] [--validate]
                   [--inject SPEC] [--watchdog-ms N] [--checkpoint-dir DIR] [--resume]
                   [--threads N|auto] [--metrics out.json] [--model-check] [--model-tol 0.05]
@@ -167,14 +173,32 @@ fn build_config(
             .map_err(|_| "bad --tol")?;
         SthosvdConfig::with_tolerance(tol)
     };
-    let method = match a.opt("method").unwrap_or("qr") {
+    // `--svd` is the primary spelling; `--method` is kept as an alias.
+    let method = match a.opt("svd").or_else(|| a.opt("method")).unwrap_or("qr") {
         "qr" => SvdMethod::Qr,
         "gram" => SvdMethod::Gram,
         "gram-mixed" => SvdMethod::GramMixed,
         "randomized" => SvdMethod::Randomized,
-        other => return Err(format!("unknown --method '{other}'")),
+        "sketched-gram" => SvdMethod::SketchedGram,
+        other => return Err(format!("unknown --svd '{other}'")),
     };
     cfg = cfg.method(method);
+    // Sketch knobs: range validation happens in SthosvdConfig::validate, so
+    // only syntax is checked here.
+    let mut rnd = RandomizedSvdConfig::default();
+    if let Some(v) = a.opt("oversample") {
+        rnd.oversampling = v.parse().map_err(|_| "bad --oversample")?;
+    }
+    if let Some(v) = a.opt("power") {
+        rnd.power_iterations = v.parse().map_err(|_| "bad --power")?;
+    }
+    if let Some(v) = a.opt("sketch-rows") {
+        rnd.sketch_rows = v.parse().map_err(|_| "bad --sketch-rows")?;
+    }
+    if let Some(v) = a.opt("sketch-seed") {
+        rnd.seed = v.parse().map_err(|_| "bad --sketch-seed")?;
+    }
+    cfg = cfg.randomized(rnd);
     cfg = match a.opt("order").unwrap_or("forward") {
         "forward" => cfg.order(ModeOrder::Forward),
         "backward" => cfg.order(ModeOrder::Backward),
@@ -550,6 +574,7 @@ fn simulate(a: &Args) -> Result<(), String> {
             method: cfg.method,
             tree: cfg.tree,
             bytes: 8, // simulate always runs in f64
+            randomized: cfg.randomized,
             tolerance: model_tol,
         };
         let mut r = check_model(&check, &out.stats);
@@ -870,6 +895,57 @@ mod tests {
         .unwrap());
         assert!(r.is_err(), "tolerance-driven randomized must be rejected");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn svd_randomized_compress_and_simulate() {
+        let dir = tmpdir().join("svd_rand");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tns = dir.join("r.tns").display().to_string();
+        let tkr = dir.join("r.tkr").display().to_string();
+        run(&parse(&toks(&format!(
+            "generate {tns} --kind hcci --dims 12x12x8x12 --seed 3"
+        )))
+        .unwrap())
+        .unwrap();
+        run(&parse(&toks(&format!(
+            "compress {tns} {tkr} --ranks 4x4x3x4 --svd randomized --oversample 4 --power 1"
+        )))
+        .unwrap())
+        .unwrap();
+        let tk: TuckerTensor<f64> = read_tucker(&tkr).unwrap();
+        assert_eq!(tk.ranks(), vec![4, 4, 3, 4]);
+        // Distributed simulate with the same method + the conformance gate.
+        run(&parse(&toks(
+            "simulate --grid 2x2x1 --kind random --dims 16x16x16 --ranks 4x4x4 \
+             --svd randomized --model-check",
+        ))
+        .unwrap())
+        .unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn svd_sketched_gram_simulate_and_bad_knobs_rejected() {
+        run(&parse(&toks(
+            "simulate --grid 2x1x2 --kind random --dims 16x16x16 --ranks 4x4x4 \
+             --svd sketched-gram --sketch-rows 64 --model-check",
+        ))
+        .unwrap())
+        .unwrap();
+        // Out-of-range knobs surface as typed config errors, not clamps.
+        let r = run(&parse(&toks(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 4x4x4 \
+             --svd randomized --oversample 0",
+        ))
+        .unwrap());
+        assert!(r.is_err(), "zero oversampling must be rejected");
+        let r = run(&parse(&toks(
+            "simulate --grid 2x1x1 --kind random --dims 8x8x8 --ranks 4x4x4 \
+             --svd sketched-gram --sketch-rows 2",
+        ))
+        .unwrap());
+        assert!(r.is_err(), "sketch-rows below 4 must be rejected");
     }
 
     #[test]

@@ -468,6 +468,7 @@ pub fn sthosvd_parallel_checkpointed<T: Scalar + IoScalar>(
     cfg: &SthosvdConfig,
     opts: &CheckpointOptions,
 ) -> Result<ParallelOutput<T>, CheckpointError> {
+    cfg.validate()?;
     let mut world = Comm::world(ctx);
     // All ranks scan the same (static) directory and reach the same verdict;
     // a barrier afterwards keeps the decision aligned with any rank that

@@ -4,6 +4,7 @@
 use tucker_dtensor::ReductionTree;
 use tucker_linalg::randomized::RandomizedSvdConfig;
 use tucker_linalg::tslq::TslqOptions;
+use tucker_linalg::LinalgError;
 
 /// Which SVD algorithm factors each unfolding (the paper's central choice).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,8 +17,17 @@ pub enum SvdMethod {
     Qr,
     /// Randomized range-finder SVD (Halko et al.) — the competitor the
     /// paper's conclusion points at for loose tolerances (§5). Requires
-    /// fixed ranks ([`Truncation::Ranks`]); sequential driver only.
+    /// fixed ranks ([`Truncation::Ranks`]). Available in both the
+    /// sequential and the distributed driver; for a fixed seed the
+    /// distributed result is bit-identical across task counts and grid
+    /// shapes (and to the sequential blocked driver).
     Randomized,
+    /// Sketched approximate-matmul Gram: estimates `X_(n) X_(n)ᵀ` from a
+    /// stratified row sample (`X Sᵀ S Xᵀ`), trading accuracy for a sample
+    /// count that no longer scales with `I^*`. Tunable via
+    /// `RandomizedSvdConfig::sketch_rows`; at full sampling it coincides
+    /// with [`SvdMethod::Gram`].
+    SketchedGram,
     /// Mixed-precision Gram-SVD (the paper's §5 future work): data and TTMs
     /// stay in the working precision, the Gram accumulation and
     /// eigendecomposition run in `f64`. Accuracy floor ~`ε_s·‖A‖` (like
@@ -32,6 +42,7 @@ impl SvdMethod {
             SvdMethod::Gram => "Gram",
             SvdMethod::Qr => "QR",
             SvdMethod::Randomized => "Randomized",
+            SvdMethod::SketchedGram => "Sketched Gram",
             SvdMethod::GramMixed => "Gram mixed",
         }
     }
@@ -151,6 +162,52 @@ impl SthosvdConfig {
         self.randomized = r;
         self
     }
+
+    /// Validate the sketch-related knobs with typed errors instead of
+    /// silently clamping out-of-range values. Called by every driver entry
+    /// point (sequential, parallel, checkpointed) before any work starts.
+    ///
+    /// Per-mode *algorithmic* caps (sketch width at `min(I_n, I^*/I_n)`,
+    /// sample count at the unfolding's column count) are not configuration
+    /// errors and are still applied inside the drivers.
+    pub fn validate(&self) -> Result<(), LinalgError> {
+        let r = &self.randomized;
+        let uses_sketch =
+            matches!(self.method, SvdMethod::Randomized | SvdMethod::SketchedGram);
+        if !uses_sketch {
+            return Ok(());
+        }
+        if self.method == SvdMethod::Randomized && !matches!(self.truncation, Truncation::Ranks(_))
+        {
+            return Err(LinalgError::InvalidConfig {
+                param: "truncation",
+                value: format!("{:?}", self.truncation),
+                expected: "fixed ranks (--ranks) when method is randomized",
+            });
+        }
+        if r.oversampling == 0 || r.oversampling > 512 {
+            return Err(LinalgError::InvalidConfig {
+                param: "oversampling",
+                value: r.oversampling.to_string(),
+                expected: "1..=512 extra sketch columns",
+            });
+        }
+        if r.power_iterations > 10 {
+            return Err(LinalgError::InvalidConfig {
+                param: "power_iterations",
+                value: r.power_iterations.to_string(),
+                expected: "0..=10 iterations (more only burns flops)",
+            });
+        }
+        if self.method == SvdMethod::SketchedGram && r.sketch_rows != 0 && r.sketch_rows < 4 {
+            return Err(LinalgError::InvalidConfig {
+                param: "sketch_rows",
+                value: r.sketch_rows.to_string(),
+                expected: "0 (auto) or at least 4 sampled rows",
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +245,50 @@ mod tests {
     fn labels() {
         assert_eq!(SvdMethod::Gram.label(), "Gram");
         assert_eq!(SvdMethod::Qr.label(), "QR");
+        assert_eq!(SvdMethod::SketchedGram.label(), "Sketched Gram");
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_ignores_non_sketch_methods() {
+        assert!(SthosvdConfig::with_ranks(vec![2, 2]).method(SvdMethod::Randomized)
+            .validate()
+            .is_ok());
+        // Out-of-range knobs are irrelevant to deterministic methods.
+        let cfg = SthosvdConfig::with_tolerance(1e-3)
+            .randomized(RandomizedSvdConfig { oversampling: 0, ..Default::default() });
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_knobs_with_typed_errors() {
+        let base = SthosvdConfig::with_ranks(vec![2, 2]).method(SvdMethod::Randomized);
+        let bad = |r: RandomizedSvdConfig| base.clone().randomized(r).validate().unwrap_err();
+        let e = bad(RandomizedSvdConfig { oversampling: 0, ..Default::default() });
+        assert!(matches!(e, LinalgError::InvalidConfig { param: "oversampling", .. }), "{e}");
+        let e = bad(RandomizedSvdConfig { oversampling: 513, ..Default::default() });
+        assert!(matches!(e, LinalgError::InvalidConfig { param: "oversampling", .. }), "{e}");
+        let e = bad(RandomizedSvdConfig { power_iterations: 11, ..Default::default() });
+        assert!(matches!(e, LinalgError::InvalidConfig { param: "power_iterations", .. }), "{e}");
+        let e = SthosvdConfig::with_tolerance(1e-3)
+            .method(SvdMethod::SketchedGram)
+            .randomized(RandomizedSvdConfig { sketch_rows: 2, ..Default::default() })
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, LinalgError::InvalidConfig { param: "sketch_rows", .. }), "{e}");
+    }
+
+    #[test]
+    fn validate_requires_ranks_for_randomized() {
+        let e = SthosvdConfig::with_tolerance(1e-3)
+            .method(SvdMethod::Randomized)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, LinalgError::InvalidConfig { param: "truncation", .. }), "{e}");
+        // SketchedGram is tolerance-capable: it exposes the full spectrum
+        // estimate like Gram does.
+        assert!(SthosvdConfig::with_tolerance(1e-3)
+            .method(SvdMethod::SketchedGram)
+            .validate()
+            .is_ok());
     }
 }

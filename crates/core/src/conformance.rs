@@ -22,7 +22,8 @@
 
 use crate::config::SvdMethod;
 use crate::model::{evd_flops, svd_flops};
-use tucker_dtensor::ReductionTree;
+use tucker_dtensor::{sketch_cols, sketch_qr_flops, slab_exchange_counts, ReductionTree};
+use tucker_linalg::randomized::{resolve_sketch_rows, sketch_block_count, RandomizedSvdConfig};
 use tucker_mpisim::{PhaseStat, RankStats};
 
 /// Everything the analytic side needs to know about the run being checked.
@@ -42,6 +43,8 @@ pub struct CheckConfig {
     pub tree: ReductionTree,
     /// Bytes per scalar of the working precision (4 or 8).
     pub bytes: usize,
+    /// Sketch parameters (randomized / sketched-Gram methods only).
+    pub randomized: RandomizedSvdConfig,
     /// Maximum relative deviation for a mode to pass.
     pub tolerance: f64,
 }
@@ -189,6 +192,8 @@ fn predict_counts(cfg: &CheckConfig) -> Vec<(usize, Predicted)> {
     let pf = p as f64;
     let w = cfg.bytes as f64;
     let mut j: Vec<f64> = cfg.dims.iter().map(|&d| d as f64).collect();
+    // Integer shadow of `j` for the sketch geometry helpers.
+    let mut ju: Vec<usize> = cfg.dims.clone();
     let mut out = Vec::with_capacity(cfg.order.len());
 
     for &n in &cfg.order {
@@ -199,9 +204,12 @@ fn predict_counts(cfg: &CheckConfig) -> Vec<(usize, Predicted)> {
         let tri = m * (m + 1.0) / 2.0; // packed triangle words
         let mut pr = Predicted::default();
 
-        // Fiber redistribution (all methods; skipped when P_n = 1):
-        // every rank sends (P_n−1)/P_n of its J*/P local words.
-        if cfg.grid[n] > 1 {
+        // Fiber redistribution (skipped when P_n = 1): every rank sends
+        // (P_n−1)/P_n of its J*/P local words. The sketch methods do a slab
+        // all-to-all instead, predicted in their own arms below.
+        let fiber_methods =
+            !matches!(cfg.method, SvdMethod::Randomized | SvdMethod::SketchedGram);
+        if fiber_methods && cfg.grid[n] > 1 {
             pr.bytes += jstar * (p_n - 1.0) / p_n * w;
             pr.msgs += (p * (cfg.grid[n] - 1)) as u64;
         }
@@ -241,8 +249,56 @@ fn predict_counts(cfg: &CheckConfig) -> Vec<(usize, Predicted)> {
                 pr.flops += pf * svd_flops(m as usize);
             }
             SvdMethod::Randomized => {
-                // Sequential-only method: the parallel driver rejects it, so
-                // there is nothing to check. Leave the prediction at zero.
+                // Distributed randomized range finder (dtensor::sketch).
+                // Every term mirrors a closed-form charge in
+                // `parallel_sketch_svd`, so the prediction is exact.
+                let mu = ju[n];
+                let colsu: usize = ju.iter().product::<usize>() / mu;
+                let colsf = colsu as f64;
+                let k = sketch_cols(cfg.ranks[n], cfg.randomized.oversampling, mu, colsu) as f64;
+                let q = cfg.randomized.power_iterations as f64;
+                let nv = sketch_block_count(colsu) as f64;
+
+                // Slab all-to-all of the unfolding into whole-block slabs.
+                let (slab_words, slab_msgs) = slab_exchange_counts(&ju, &cfg.grid, n);
+                pr.bytes += slab_words * w;
+                pr.msgs += slab_msgs;
+
+                // Sketch GEMM Y = A·Ω: the virtual blocks tile the columns
+                // exactly, so 2·J_n·J*·k machine-wide — and 4·J_n·J*·k per
+                // power iteration (two GEMMs through each block).
+                pr.flops += 2.0 * m * colsf * k;
+                pr.flops += q * 4.0 * m * colsf * k;
+                // Projection B = QᵀA (2·k·J_n·J*) plus the per-block syrk of
+                // B (k²·J*).
+                pr.flops += 2.0 * k * m * colsf + k * k * colsf;
+                // Redundant per-rank work: (q+1) sketch QRs, folds of all nv
+                // partials ((q+1) of J_n×k, one of k×k), the k×k EVD, and the
+                // lift U = Q·U_H.
+                pr.flops += pf * (q + 1.0) * sketch_qr_flops(m, k);
+                pr.flops += pf * (nv - 1.0) * ((q + 1.0) * m * k + k * k);
+                pr.flops += pf * 9.0 * k * k * k;
+                pr.flops += pf * 2.0 * m * k * k;
+                // (q+2) ring allgathers of the per-block partials: machine-
+                // wide each moves (P−1) copies of the nv concatenated blocks.
+                pr.bytes += (pf - 1.0) * nv * ((q + 1.0) * m * k + k * k) * w;
+                pr.msgs += (q as u64 + 2) * (p * (p - 1)) as u64;
+            }
+            SvdMethod::SketchedGram => {
+                // Sampled-column Gram estimate: slab exchange, one syrk over
+                // the s sampled columns (each owned by exactly one rank),
+                // then the same allreduce + redundant EVD as the Gram path.
+                let mu = ju[n];
+                let colsu: usize = ju.iter().product::<usize>() / mu;
+                let s = resolve_sketch_rows(cfg.randomized.sketch_rows, mu, colsu) as f64;
+                let (slab_words, slab_msgs) = slab_exchange_counts(&ju, &cfg.grid, n);
+                pr.bytes += slab_words * w;
+                pr.msgs += slab_msgs;
+                pr.flops += m * m * s;
+                pr.flops += (pf - 1.0) * m * m;
+                pr.bytes += 2.0 * (pf - 1.0) * m * m * w;
+                pr.msgs += 2 * (p as u64 - 1);
+                pr.flops += pf * evd_flops(m as usize);
             }
         }
 
@@ -258,6 +314,7 @@ fn predict_counts(cfg: &CheckConfig) -> Vec<(usize, Predicted)> {
 
         out.push((n, pr));
         j[n] = r_n;
+        ju[n] = cfg.ranks[n];
     }
     out
 }
@@ -266,6 +323,10 @@ fn predict_counts(cfg: &CheckConfig) -> Vec<(usize, Predicted)> {
 fn measured_for_mode(stats: &[RankStats], method: SvdMethod, n: usize) -> PhaseStat {
     let (factor, small) = match method {
         SvdMethod::Qr => (format!("LQ#{n}"), format!("SVD#{n}")),
+        // The randomized driver does everything (redistribution, sketch,
+        // projected EVD, lift) under the one Sketch#n phase; the empty
+        // second label matches no phase.
+        SvdMethod::Randomized => (format!("Sketch#{n}"), String::new()),
         _ => (format!("Gram#{n}"), format!("EVD#{n}")),
     };
     let labels = [factor, small, format!("TTM#{n}")];
@@ -348,6 +409,7 @@ mod tests {
                 method,
                 tree,
                 bytes: 8,
+                randomized: RandomizedSvdConfig::default(),
                 tolerance,
             },
             &out.stats,
@@ -380,6 +442,26 @@ mod tests {
     }
 
     #[test]
+    fn randomized_even_grid_is_exact() {
+        let r = run_and_check(SvdMethod::Randomized, ReductionTree::Butterfly, 1e-9);
+        assert!(r.pass, "{}", r.table());
+        for m in &r.per_mode {
+            assert!(m.flops_predicted > 0.0, "mode {}", m.mode);
+            assert_eq!(m.msgs_predicted, m.msgs_measured, "mode {}", m.mode);
+        }
+    }
+
+    #[test]
+    fn sketched_gram_even_grid_is_exact() {
+        let r = run_and_check(SvdMethod::SketchedGram, ReductionTree::Butterfly, 1e-9);
+        assert!(r.pass, "{}", r.table());
+        for m in &r.per_mode {
+            assert!(m.flops_predicted > 0.0 && m.bytes_predicted > 0.0, "mode {}", m.mode);
+            assert_eq!(m.msgs_predicted, m.msgs_measured, "mode {}", m.mode);
+        }
+    }
+
+    #[test]
     fn wrong_grid_fails_the_check() {
         // Predict for a 4-rank grid but measure an 8-rank run: the check
         // must localize the mismatch rather than pass vacuously.
@@ -399,6 +481,7 @@ mod tests {
                 method: SvdMethod::Gram,
                 tree: ReductionTree::Butterfly,
                 bytes: 8,
+                randomized: RandomizedSvdConfig::default(),
                 tolerance: 1e-3,
             },
             &out.stats,

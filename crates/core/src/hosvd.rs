@@ -7,8 +7,8 @@
 //! hold, but the flop count is strictly larger — which is exactly why
 //! TuckerMPI (and this reproduction) use ST-HOSVD as the workhorse.
 
-use crate::config::{SthosvdConfig, Truncation};
-use crate::svd_driver::mode_svd;
+use crate::config::{SthosvdConfig, SvdMethod, Truncation};
+use crate::svd_driver::{mode_svd, mode_svd_sketched_gram};
 use crate::truncate::{choose_rank, mode_threshold};
 use crate::tucker::TuckerTensor;
 use tucker_linalg::{Matrix, Result, Scalar};
@@ -18,6 +18,7 @@ use tucker_tensor::{ttm, Tensor};
 /// the core with a single TTM chain. Accepts the same configuration as
 /// [`crate::sthosvd`] (the `mode_order` only affects the TTM chain order).
 pub fn hosvd<T: Scalar>(x: &Tensor<T>, cfg: &SthosvdConfig) -> Result<TuckerTensor<T>> {
+    cfg.validate()?;
     let nmodes = x.ndims();
     let norm_x = x.norm();
     let threshold = match &cfg.truncation {
@@ -28,7 +29,10 @@ pub fn hosvd<T: Scalar>(x: &Tensor<T>, cfg: &SthosvdConfig) -> Result<TuckerTens
     let mut factors: Vec<Matrix<T>> = Vec::with_capacity(nmodes);
     let mut tails = Vec::with_capacity(nmodes);
     for n in 0..nmodes {
-        let (u, sigma) = mode_svd(x, n, cfg.method, cfg.tslq)?;
+        let (u, sigma) = match cfg.method {
+            SvdMethod::SketchedGram => mode_svd_sketched_gram(x, n, &cfg.randomized)?,
+            _ => mode_svd(x, n, cfg.method, cfg.tslq)?,
+        };
         let r_n = match &cfg.truncation {
             Truncation::Tolerance(_) => choose_rank(&sigma, threshold),
             Truncation::Ranks(r) => r[n].min(x.dims()[n]),

@@ -16,8 +16,12 @@ use crate::config::{SthosvdConfig, SvdMethod, Truncation};
 use crate::model::{evd_flops, svd_flops};
 use crate::truncate::{choose_rank, estimated_error, mode_threshold};
 use crate::tucker::TuckerTensor;
-use tucker_dtensor::{parallel_gram, parallel_gram_mixed, parallel_tensor_lq, parallel_ttm, parallel_ttm_op, DistTensor};
+use tucker_dtensor::{
+    parallel_gram, parallel_gram_mixed, parallel_sketch_svd, parallel_sketched_gram,
+    parallel_tensor_lq, parallel_ttm, parallel_ttm_op, DistTensor,
+};
 use tucker_linalg::gram_svd::gram_svd_from_gram;
+use tucker_linalg::randomized::{resolve_sketch_rows, sketch_block_count};
 use tucker_linalg::mixed::gram_svd_mixed_from_gram;
 use tucker_linalg::svd::svd_left;
 use tucker_linalg::{LinalgError, Matrix, Result, Scalar};
@@ -192,6 +196,9 @@ pub fn hosvd_step<T: Scalar>(
     let n = state.order[state.done];
     let y = &state.y;
     let m = y.global_dims()[n];
+    // Unfolding width I^*/I_n of the *current* (partially truncated)
+    // tensor — the sketch drivers' problem size, reported as gauges below.
+    let jstar_cols: usize = y.global_dims().iter().product::<usize>() / m;
     // Inner phases use both a flat label ("LQ") and a per-mode label
     // ("LQ#n"): the flat one feeds whole-run breakdowns, the per-mode one
     // feeds the paper's stacked per-mode bars (Figs. 2, 3b, 8b–10).
@@ -208,10 +215,32 @@ pub fn hosvd_step<T: Scalar>(
             })?
         }
         SvdMethod::Randomized => {
-            return Err(LinalgError::DimensionMismatch {
-                op: "sthosvd_parallel",
-                details: "the randomized method is a sequential-only extension".into(),
-            })
+            let Truncation::Ranks(r) = &cfg.truncation else {
+                return Err(LinalgError::InvalidConfig {
+                    param: "truncation",
+                    value: format!("{:?}", cfg.truncation),
+                    expected: "fixed ranks (--ranks) when method is randomized",
+                });
+            };
+            ctx.phase("Sketch", |c| {
+                c.phase(&format!("Sketch#{n}"), |c2| {
+                    parallel_sketch_svd(c2, world, y, n, r[n].min(m), &cfg.randomized)
+                })
+            })?
+        }
+        SvdMethod::SketchedGram => {
+            let samples = resolve_sketch_rows(cfg.randomized.sketch_rows, m, jstar_cols);
+            let g = ctx.phase("Gram", |c| {
+                c.phase(&format!("Gram#{n}"), |c2| {
+                    parallel_sketched_gram(c2, world, y, n, samples, cfg.randomized.seed)
+                })
+            })?;
+            ctx.phase("EVD", |c| {
+                c.phase(&format!("EVD#{n}"), |c2| {
+                    c2.charge_flops(evd_flops(m), T::BYTES);
+                    gram_svd_from_gram(&g)
+                })
+            })?
         }
         SvdMethod::GramMixed => {
             let g = ctx.phase("Gram", |c| {
@@ -243,7 +272,10 @@ pub fn hosvd_step<T: Scalar>(
         Truncation::Tolerance(_) => choose_rank(&sigma, state.threshold),
         Truncation::Ranks(r) => r[n].min(m),
         Truncation::None => m,
-    };
+    }
+    // The randomized sketch exposes only k = rank + oversampling directions.
+    .min(u.cols());
+    let sketch_width = u.cols();
     let tail: T = sigma[r_n..].iter().map(|&s| s * s).sum();
     let u_n = u.truncate_cols(r_n);
     let truncated = ctx
@@ -263,6 +295,29 @@ pub fn hosvd_step<T: Scalar>(
             reg.gauge_set(&format!("sthosvd/mode{n}/sigma_min"), sigma_min);
             let floor = (T::EPSILON * norm_x).to_f64();
             reg.gauge_set(&format!("sthosvd/mode{n}/sigma_floor_rel"), sigma_min / floor);
+        }
+        // Sketch geometry of the randomized/sketched mode drivers: how wide
+        // the sketch was, how many virtual column blocks were folded, and
+        // (for the sampled Gram estimator) how many rows were kept.
+        match cfg.method {
+            SvdMethod::Randomized => {
+                reg.gauge_set(&format!("sthosvd/mode{n}/sketch_cols"), sketch_width as f64);
+                reg.gauge_set(
+                    &format!("sthosvd/mode{n}/sketch_power_iters"),
+                    cfg.randomized.power_iterations as f64,
+                );
+                reg.gauge_set(
+                    &format!("sthosvd/mode{n}/sketch_blocks"),
+                    sketch_block_count(jstar_cols) as f64,
+                );
+            }
+            SvdMethod::SketchedGram => {
+                reg.gauge_set(
+                    &format!("sthosvd/mode{n}/sketch_rows"),
+                    resolve_sketch_rows(cfg.randomized.sketch_rows, m, jstar_cols) as f64,
+                );
+            }
+            _ => {}
         }
         // Fold this step's local-kernel totals into the registry and re-arm
         // the collector for the next step (also self-arms a resumed run
@@ -303,6 +358,7 @@ pub fn sthosvd_parallel<T: Scalar>(
     x: &DistTensor<T>,
     cfg: &SthosvdConfig,
 ) -> Result<ParallelOutput<T>> {
+    cfg.validate()?;
     let mut world = Comm::world(ctx);
     let mut state = hosvd_init(ctx, &mut world, x, cfg);
     while !state.is_complete() {

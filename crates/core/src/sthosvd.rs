@@ -7,7 +7,7 @@
 //! algorithm proceeds.
 
 use crate::config::{SthosvdConfig, SvdMethod, Truncation};
-use crate::svd_driver::{mode_svd, mode_svd_randomized};
+use crate::svd_driver::{mode_svd, mode_svd_randomized, mode_svd_sketched_gram};
 use crate::truncate::{choose_rank, estimated_error, mode_threshold};
 use crate::tucker::TuckerTensor;
 use tucker_linalg::{LinalgError, Matrix, Result, Scalar};
@@ -38,6 +38,7 @@ pub fn sthosvd_with_info<T: Scalar>(
     x: &Tensor<T>,
     cfg: &SthosvdConfig,
 ) -> Result<SthosvdOutput<T>> {
+    cfg.validate()?;
     let nmodes = x.ndims();
     let order = cfg.mode_order.resolve(nmodes);
     let norm_x = x.norm();
@@ -53,16 +54,18 @@ pub fn sthosvd_with_info<T: Scalar>(
 
     for &n in &order {
         let i_n = y.dims()[n];
-        let (u, sigma) = if cfg.method == SvdMethod::Randomized {
-            let Truncation::Ranks(r) = &cfg.truncation else {
-                return Err(LinalgError::DimensionMismatch {
-                    op: "sthosvd",
-                    details: "SvdMethod::Randomized requires Truncation::Ranks".into(),
-                });
-            };
-            mode_svd_randomized(&y, n, r[n].min(i_n), &cfg.randomized)?
-        } else {
-            mode_svd(&y, n, cfg.method, cfg.tslq)?
+        let (u, sigma) = match cfg.method {
+            SvdMethod::Randomized => {
+                let Truncation::Ranks(r) = &cfg.truncation else {
+                    return Err(LinalgError::DimensionMismatch {
+                        op: "sthosvd",
+                        details: "SvdMethod::Randomized requires Truncation::Ranks".into(),
+                    });
+                };
+                mode_svd_randomized(&y, n, r[n].min(i_n), &cfg.randomized)?
+            }
+            SvdMethod::SketchedGram => mode_svd_sketched_gram(&y, n, &cfg.randomized)?,
+            _ => mode_svd(&y, n, cfg.method, cfg.tslq)?,
         };
         let r_n = match &cfg.truncation {
             Truncation::Tolerance(_) => choose_rank(&sigma, threshold),

@@ -6,7 +6,9 @@ use crate::config::SvdMethod;
 use tucker_linalg::gram_svd::gram_svd_from_gram;
 use tucker_linalg::blocked_qr::{lq_factor_blocked, DEFAULT_BLOCK};
 use tucker_linalg::mixed::{gram_svd_mixed_from_gram, syrk_lower_f64_acc};
-use tucker_linalg::randomized::{randomized_svd_left, RandomizedSvdConfig};
+use tucker_linalg::randomized::{
+    randomized_svd_left_blocked, resolve_sketch_rows, sketched_gram, RandomizedSvdConfig,
+};
 use tucker_linalg::svd::svd_left;
 use tucker_linalg::tslq::{tslq_blocks, TslqOptions};
 use tucker_linalg::{syrk_lower, LinalgError, Matrix, Result, Scalar};
@@ -69,6 +71,12 @@ pub fn mode_svd<T: Scalar>(
             op: "mode_svd",
             details: "the randomized method needs a target rank; use mode_svd_randomized".into(),
         }),
+        SvdMethod::SketchedGram => Err(LinalgError::DimensionMismatch {
+            op: "mode_svd",
+            details: "the sketched-Gram method needs sketch parameters; \
+                      use mode_svd_sketched_gram"
+                .into(),
+        }),
         SvdMethod::GramMixed => {
             let g = gram_of_unfolding_mixed(y, n);
             gram_svd_mixed_from_gram(&g)
@@ -95,12 +103,18 @@ pub fn gram_of_unfolding_mixed<T: Scalar>(y: &Tensor<T>, n: usize) -> Matrix<f64
 }
 
 /// Randomized mode-`n` SVD for a known target rank (paper §5's suggested
-/// competitor, sequential driver only). Returns `(U, sigma)` of width
+/// competitor). Returns `(U, sigma)` of width
 /// `min(rank + oversampling, I_n)`.
 ///
+/// Runs the *canonical blocked* driver
+/// ([`randomized_svd_left_blocked`]): per-virtual-block partial products
+/// folded in global block order with a counter-based Ω fill, which is what
+/// the distributed driver (`tucker-dtensor::sketch`) reproduces
+/// bit-identically for any task count or grid shape.
+///
 /// Middle-mode unfoldings have no single strided view, so the unfolding is
-/// materialized (one extra copy of the working tensor) — acceptable for a
-/// baseline; a production implementation would sketch block by block.
+/// materialized (one extra copy of the working tensor) — acceptable
+/// because the sketch's own GEMMs dominate the copy.
 pub fn mode_svd_randomized<T: Scalar>(
     y: &Tensor<T>,
     n: usize,
@@ -109,11 +123,31 @@ pub fn mode_svd_randomized<T: Scalar>(
 ) -> Result<(Matrix<T>, Vec<T>)> {
     let unf = Unfolding::new(y, n);
     if let Some(whole) = unf.whole() {
-        randomized_svd_left(whole, rank, cfg)
+        randomized_svd_left_blocked(whole, rank, cfg)
     } else {
         let a = unf.to_matrix();
-        randomized_svd_left(a.as_ref(), rank, cfg)
+        randomized_svd_left_blocked(a.as_ref(), rank, cfg)
     }
+}
+
+/// Sketched approximate-matmul Gram mode-`n` SVD: estimates the Gram
+/// matrix from a stratified column sample (`cfg.sketch_rows`, `0` = auto)
+/// and eigendecomposes the estimate. At full sampling this coincides with
+/// [`SvdMethod::Gram`].
+pub fn mode_svd_sketched_gram<T: Scalar>(
+    y: &Tensor<T>,
+    n: usize,
+    cfg: &RandomizedSvdConfig,
+) -> Result<(Matrix<T>, Vec<T>)> {
+    let unf = Unfolding::new(y, n);
+    let samples = resolve_sketch_rows(cfg.sketch_rows, unf.rows(), unf.cols());
+    let g = if let Some(whole) = unf.whole() {
+        sketched_gram(whole, samples, cfg.seed)
+    } else {
+        let a = unf.to_matrix();
+        sketched_gram(a.as_ref(), samples, cfg.seed)
+    };
+    gram_svd_from_gram(&g)
 }
 
 #[cfg(test)]

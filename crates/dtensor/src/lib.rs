@@ -15,6 +15,9 @@
 //!   world all-reduce (TuckerMPI's Gram-SVD path).
 //! * [`lq`] — parallel LQ of an unfolding: local (Tensor)LQ + butterfly
 //!   TSQR over packed triangles (Alg. 3, QR-SVD path).
+//! * [`sketch`] — distributed randomized range-finder and sketched-Gram
+//!   drivers over a canonical virtual-block slab layout (bit-identical to
+//!   the sequential blocked driver across task counts and grid shapes).
 //! * [`ttm`] — parallel TTM truncation: local TTM + fiber reduce-scatter.
 //! * [`guard`] — NaN/Inf guards at the kernel boundaries; surface a typed
 //!   [`NumericalFault`] naming rank, phase and first offending index.
@@ -25,6 +28,7 @@ pub mod gram;
 pub mod guard;
 pub mod lq;
 pub mod redistribute;
+pub mod sketch;
 pub mod ttm;
 
 pub use dist::{block_owner, block_range, DistTensor};
@@ -33,4 +37,8 @@ pub use grid::ProcessorGrid;
 pub use guard::{check_finite, NumericalFault};
 pub use lq::{parallel_tensor_lq, ReductionTree};
 pub use redistribute::redistribute_to_columns;
+pub use sketch::{
+    parallel_sketch_svd, parallel_sketched_gram, redistribute_to_slab, sketch_cols,
+    sketch_qr_flops, slab_blocks, slab_columns, slab_exchange_counts,
+};
 pub use ttm::{parallel_ttm, parallel_ttm_op};

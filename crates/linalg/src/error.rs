@@ -27,6 +27,18 @@ pub enum LinalgError {
         /// Name of the operation that was attempted.
         op: &'static str,
     },
+    /// A configuration knob is outside its accepted range. Raised at entry
+    /// instead of silently clamping the value, so a typo'd `--oversample`
+    /// or `--sketch-rows` fails loudly rather than quietly changing the
+    /// algorithm that runs.
+    InvalidConfig {
+        /// The offending parameter, e.g. `oversampling`.
+        param: &'static str,
+        /// The rejected value, formatted for display.
+        value: String,
+        /// What the parameter accepts.
+        expected: &'static str,
+    },
     /// A NaN/Inf was detected at a numerical-guard boundary (unfolding,
     /// Gram, LQ, TTM). Raised instead of silently propagating garbage —
     /// typically the surfaced form of a detected in-transit corruption.
@@ -52,6 +64,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "{op}: no convergence at index {index} after {iterations} iterations")
             }
             LinalgError::EmptyMatrix { op } => write!(f, "{op}: empty matrix"),
+            LinalgError::InvalidConfig { param, value, expected } => {
+                write!(f, "invalid configuration: {param} = {value} (expected {expected})")
+            }
             LinalgError::NonFinite { phase, rank, mode, index } => write!(
                 f,
                 "non-finite value detected on rank {rank} after {phase} \

@@ -66,5 +66,12 @@ pub use gram_svd::gram_svd;
 pub use mixed::{gram_svd_mixed, syrk_lower_f64_acc};
 pub use perf::KernelStat;
 pub use qr_svd::qr_svd;
-pub use random::{matrix_with_singular_values, random_matrix, random_orthogonal};
-pub use randomized::{randomized_svd_left, RandomizedSvdConfig};
+pub use random::{
+    gaussian_at, gaussian_block, matrix_with_singular_values, random_matrix, random_orthogonal,
+    splitmix64_at, splitmix64_mix,
+};
+pub use randomized::{
+    fold_partial, randomized_svd_left, randomized_svd_left_blocked, resolve_sketch_rows,
+    sampled_column, sketch_block_count, sketch_block_range, sketched_gram, RandomizedSvdConfig,
+    SKETCH_COL_BLOCK,
+};

@@ -65,6 +65,75 @@ pub fn matrix_with_singular_values_seeded<T: Scalar>(sv: &[f64], n: usize, seed:
     matrix_with_singular_values::<T, _>(sv, n, &mut rng)
 }
 
+// ---------------------------------------------------------------------------
+// Counter-based Gaussian fill (SplitMix64).
+//
+// The sequential `StdRng` generators above produce a *stream*: entry (i, j)
+// depends on how many values were drawn before it, so a rank that owns only
+// columns 96..128 of the sketch matrix Ω would have to either generate (and
+// discard) columns 0..96 or receive Ω by broadcast. The counter-based fill
+// makes every entry a pure function of `(seed, row, col)` — O(1)-seekable —
+// so each rank generates exactly its slice of Ω with no communication, and
+// every partitioning of the columns sees bit-identical values.
+
+/// SplitMix64 finalizer: invertible avalanche mix of a 64-bit word.
+#[inline]
+pub fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counter-based SplitMix64 draw keyed by `(seed, row, col)`.
+///
+/// The key is folded into a single counter with two odd multipliers (the
+/// SplitMix64 golden-ratio increment and a second Weyl constant) and mixed
+/// twice, so linearly related `(row, col)` keys do not produce linearly
+/// related outputs.
+#[inline]
+pub fn splitmix64_at(seed: u64, row: u64, col: u64) -> u64 {
+    let c = seed
+        .wrapping_add(row.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(col.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    splitmix64_mix(splitmix64_mix(c))
+}
+
+/// Standard normal draw at `(seed, row, col)` via Box–Muller.
+///
+/// Always computed in `f64` (then rounded to the working precision by the
+/// callers), matching the cross-precision convention of the generators
+/// above: f32 and f64 runs of the same experiment sketch with roundings of
+/// the *same* Gaussian.
+#[inline]
+pub fn gaussian_at(seed: u64, row: u64, col: u64) -> f64 {
+    let h1 = splitmix64_at(seed, row, col);
+    // A second, decorrelated word for the same key: re-mix with a salt.
+    let h2 = splitmix64_mix(h1 ^ 0xA5A5_A5A5_5A5A_5A5A);
+    // 53-bit mantissas; u1 in (0, 1] so ln(u1) is finite, u2 in [0, 1).
+    const SCALE: f64 = 1.0 / 9_007_199_254_740_992.0; // 2^-53
+    let u1 = ((h1 >> 11) as f64 + 1.0) * SCALE;
+    let u2 = (h2 >> 11) as f64 * SCALE;
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Rows `row_start .. row_start + rows` of the conceptual infinite Gaussian
+/// sketch matrix `Ω(seed)`, as a `rows x cols` column-major [`Matrix`].
+///
+/// Because each entry is addressed absolutely, concatenating
+/// `gaussian_block(s, 0, a, k)` over consecutive row ranges reproduces
+/// `gaussian_block(s, 0, total, k)` bit-for-bit — the property the
+/// distributed sketch relies on to skip broadcasting Ω.
+pub fn gaussian_block<T: Scalar>(
+    seed: u64,
+    row_start: usize,
+    rows: usize,
+    cols: usize,
+) -> Matrix<T> {
+    Matrix::from_fn(rows, cols, |i, j| {
+        T::from_f64(gaussian_at(seed, (row_start + i) as u64, j as u64))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +166,44 @@ mod tests {
                 assert!((a64[(i, j)] as f32 - a32[(i, j)]).abs() < 1e-7);
             }
         }
+    }
+
+    #[test]
+    fn counter_gaussian_is_seekable_and_partition_invariant() {
+        let whole = gaussian_block::<f64>(0x5EED, 0, 100, 7);
+        // Any split of the rows reproduces the same entries bitwise.
+        for (start, len) in [(0usize, 13usize), (13, 41), (54, 46), (97, 3)] {
+            let part = gaussian_block::<f64>(0x5EED, start, len, 7);
+            for j in 0..7 {
+                for i in 0..len {
+                    assert_eq!(whole[(start + i, j)].to_bits(), part[(i, j)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_gaussian_has_expected_moments() {
+        let a = gaussian_block::<f64>(42, 0, 200, 50);
+        let n = (200 * 50) as f64;
+        let mean: f64 = a.data().iter().sum::<f64>() / n;
+        let var: f64 = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean} should be near 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} should be near 1");
+    }
+
+    #[test]
+    fn counter_gaussian_decorrelates_adjacent_keys() {
+        // Neighbouring rows/columns must not be visibly correlated.
+        let a = gaussian_block::<f64>(9, 0, 1000, 2);
+        let (mut dot, mut n0, mut n1) = (0.0, 0.0, 0.0);
+        for i in 0..1000 {
+            dot += a[(i, 0)] * a[(i, 1)];
+            n0 += a[(i, 0)] * a[(i, 0)];
+            n1 += a[(i, 1)] * a[(i, 1)];
+        }
+        let corr = dot / (n0.sqrt() * n1.sqrt());
+        assert!(corr.abs() < 0.1, "adjacent-column correlation {corr}");
     }
 
     #[test]

@@ -169,3 +169,75 @@ for key in ("healthy_p50_ms", "healthy_p99_ms", "healthy_qps", "overload_p99_ms"
     assert math.isfinite(r[key]) and r[key] > 0, f"degenerate {key}: {r[key]}"
 print("failover smoke: zero lost, rank 1 dead, recovery measured, schema OK")
 PY
+
+# Randomized-sketch smoke (DESIGN.md §15): fixed-rank compress with
+# --svd randomized must meet a loose error bound on a fast-decaying
+# surrogate, and a distributed run on an even grid must pass the exact
+# flop/word conformance check for both sketch methods.
+rand_tns="$ckpt/rand.tns"
+rand_tkr="$ckpt/rand.tkr"
+rand_rec="$ckpt/rand_rec.tns"
+"$tucker" generate "$rand_tns" --kind hcci --dims 16x16x8x16 --seed 3
+"$tucker" compress "$rand_tns" "$rand_tkr" --ranks 6x6x4x6 --svd randomized \
+    --oversample 8 --power 1
+"$tucker" decompress "$rand_tkr" "$rand_rec"
+err_line="$("$tucker" error "$rand_tns" "$rand_rec")"
+python3 - "$err_line" <<'PY'
+import re, sys
+m = re.search(r"([0-9.]+e?-?[0-9]*)", sys.argv[1])
+assert m, f"no error value in: {sys.argv[1]}"
+err = float(m.group(1))
+assert err < 0.05, f"randomized compression error {err} out of bounds"
+print(f"randomized smoke: compression error {err:.3e} OK")
+PY
+"$tucker" simulate --grid 2x2x2 --kind random --dims 16x16x16 \
+    --ranks 4x4x4 --svd randomized --model-check
+"$tucker" simulate --grid 2x2x2 --kind random --dims 16x16x16 \
+    --ranks 4x4x4 --svd sketched-gram --sketch-rows 32 --model-check
+if "$tucker" simulate --grid 2x1x1 --kind random --dims 8x8x8 \
+        --ranks 4x4x4 --svd randomized --oversample 0 2>/dev/null; then
+    echo "randomized smoke: --oversample 0 must be rejected" >&2
+    exit 1
+fi
+echo "randomized smoke: compress + conformance + typed rejection OK"
+
+# Randomized bench smoke: records must be schema-valid and the distributed
+# driver bit-identical across grids (the ≥3x speedup and ≤1.5x error-ratio
+# gates are enforced only by a full, non---quick run, which produced the
+# committed BENCH_pr8.json).
+rand_json="$ckpt/bench_pr8_smoke.json"
+target/release/bench randomized --quick --out "$rand_json"
+python3 - "$rand_json" <<'PY'
+import json, math, sys
+recs = json.load(open(sys.argv[1]))
+names = {r["bench"] for r in recs}
+need = {"sthosvd_gram", "sthosvd_qr", "sthosvd_randomized_q1",
+        "randomized_speedup_vs_gram", "randomized_error_ratio_vs_qr",
+        "randomized_bit_identical", "hcci_like_randomized_q0_error",
+        "video_like_randomized_q2_error"}
+assert need <= names, f"missing records: {need - names}"
+for r in recs:
+    keys = set(r) - {"bench", "shape", "precision"}
+    assert len(keys) == 1, f"want exactly one metric: {r}"
+    v = r[keys.pop()]
+    assert isinstance(v, (int, float)) and math.isfinite(v) and v >= 0, f"bad metric: {r}"
+bit = next(r for r in recs if r["bench"] == "randomized_bit_identical")
+assert bit["x"] == 1.0, "distributed sketch SVD is not bit-identical"
+print("randomized bench smoke: schema + bit-identity OK")
+PY
+
+# Committed PR8 artifact gate: the checked-in BENCH_pr8.json (produced by a
+# full run) must carry the ≥3x speedup, the ≤1.5x error ratio, and
+# bit-identity.
+python3 - BENCH_pr8.json <<'PY'
+import json, sys
+recs = json.load(open(sys.argv[1]))
+by = {r["bench"]: r for r in recs}
+sp = by["randomized_speedup_vs_gram"]["x"]
+er = by["randomized_error_ratio_vs_qr"]["x"]
+bit = by["randomized_bit_identical"]["x"]
+assert sp >= 3.0, f"committed speedup {sp} below the 3x gate"
+assert er <= 1.5, f"committed error ratio {er} above the 1.5x gate"
+assert bit == 1.0, "committed artifact records broken bit-identity"
+print(f"BENCH_pr8.json gate: speedup {sp:.2f}x, error ratio {er:.3f}, bit-identical OK")
+PY
