@@ -23,6 +23,16 @@
 //! the cross-grid bit-identity check, written to `BENCH_pr8.json`. Full
 //! mode enforces ≥3x speedup over Gram and error within 1.5x of QR-SVD.
 //!
+//! `bench observability` — the PR9 gate (DESIGN.md §16): the serving loop
+//! with request tracing + structured logging off versus fully on, written
+//! to `BENCH_pr9.json`. Results must be bit-identical either way; full
+//! mode enforces the paired median overhead < 2%.
+//!
+//! `bench regress` — compares the committed `BENCH_pr3..pr8.json`
+//! trajectory against a fresh run and fails on a >20% regression of any
+//! directed gate metric. `--quick` restricts the fresh run to the
+//! deterministic virtual-time benches.
+//!
 //! `--quick` shrinks the shapes for the CI smoke run (`scripts/ci.sh`);
 //! full mode additionally enforces the PR3 acceptance gate (the
 //! register-tiled engine must beat the reference GEMM by ≥2x at the
@@ -43,8 +53,8 @@ use tucker_linalg::{
 use tucker_mpisim::{CostModel, Simulator};
 use tucker_tensor::{ttm, Tensor};
 
-const USAGE: &str =
-    "usage: bench kernels|metrics-overhead|serve|failover|randomized [--quick] [--out FILE.json]";
+const USAGE: &str = "usage: bench kernels|metrics-overhead|serve|failover|randomized|\
+observability|regress [--quick] [--out FILE.json]";
 
 /// One output record: a named measurement at a shape and precision.
 struct Rec {
@@ -694,15 +704,321 @@ fn run_failover(quick: bool, out_path: &str) {
     println!("wrote failover record to {out_path}");
 }
 
+/// `bench observability` — the PR9 gate (DESIGN.md §16): the serving loop
+/// with tracing + structured logging off versus fully on, paired round by
+/// round like `metrics-overhead`. Full mode enforces the median paired
+/// overhead < 2%; both modes require bit-identical results and a
+/// non-trivial span/log harvest from the instrumented run.
+fn run_observability(quick: bool, out_path: &str) {
+    let r = match tucker_serve::run_observability_bench(quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench observability: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = r.to_json();
+    println!("{json}");
+    println!(
+        "observability overhead: {:.3}% ({:.3} ms -> {:.3} ms), {} spans, {} log lines",
+        r.overhead_pct, r.off_ms, r.on_ms, r.spans, r.log_lines
+    );
+    for (name, v) in [("off_ms", r.off_ms), ("on_ms", r.on_ms)] {
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("bench observability: {name} produced a degenerate reading {v}");
+            std::process::exit(1);
+        }
+    }
+    if !r.bit_identical {
+        eprintln!("bench observability: tracing/logging perturbed the serving results");
+        std::process::exit(1);
+    }
+    if r.spans == 0 || r.log_lines == 0 {
+        eprintln!(
+            "bench observability: instrumented run recorded nothing ({} spans, {} log lines)",
+            r.spans, r.log_lines
+        );
+        std::process::exit(1);
+    }
+    // PR9 acceptance gate, full mode only (quick mode's 3 rounds on noisy
+    // CI hosts are too few for a stable median).
+    if !quick && r.overhead_pct >= 2.0 {
+        eprintln!("bench observability: {:.3}% exceeds the 2% budget", r.overhead_pct);
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(out_path, format!("{json}\n")) {
+        eprintln!("bench observability: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote observability record to {out_path}");
+}
+
+/// One flattened benchmark record from a committed or fresh artifact:
+/// identity (bench, shape, precision) plus every numeric/boolean field.
+struct FlatRec {
+    bench: String,
+    shape: String,
+    precision: String,
+    fields: Vec<(String, f64)>,
+}
+
+/// Split a JSON document into its top-level `{...}` objects — handles both
+/// the array-of-records artifacts and the single-object ones. String-aware,
+/// so braces inside quoted shapes don't confuse the depth count.
+fn split_objects(text: &str) -> Vec<&str> {
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let (mut depth, mut start, mut in_str) = (0i32, 0usize, false);
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if in_str {
+            if c == b'\\' {
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b'{' => {
+                    if depth == 0 {
+                        start = i;
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        out.push(&text[start..=i]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Flatten one artifact object. Strings fill the identity, numbers and
+/// booleans (as 0/1) become comparable fields, arrays are kept only as the
+/// `shape` identity text, anything else is ignored.
+fn parse_flat(obj: &str) -> Option<FlatRec> {
+    let inner = obj.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let b = inner.as_bytes();
+    let (mut depth, mut in_str, mut from) = (0i32, false, 0usize);
+    let mut parts: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if in_str {
+            if c == b'\\' {
+                i += 2;
+                continue;
+            }
+            if c == b'"' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                b'"' => in_str = true,
+                b'[' | b'{' => depth += 1,
+                b']' | b'}' => depth -= 1,
+                b',' if depth == 0 => {
+                    parts.push(&inner[from..i]);
+                    from = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    parts.push(&inner[from..]);
+    let mut rec = FlatRec {
+        bench: String::new(),
+        shape: String::new(),
+        precision: String::new(),
+        fields: Vec::new(),
+    };
+    for p in parts {
+        let (k, v) = p.split_once(':')?;
+        let key = k.trim().trim_matches('"');
+        let val = v.trim();
+        if let Some(s) = val.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+            match key {
+                "bench" => rec.bench = s.to_string(),
+                "shape" => rec.shape = s.to_string(),
+                "precision" => rec.precision = s.to_string(),
+                _ => {}
+            }
+        } else if val.starts_with('[') {
+            if key == "shape" {
+                // Normalize whitespace so formatting differences don't
+                // break identity matching.
+                rec.shape = val.split_whitespace().collect();
+            }
+        } else if val == "true" || val == "false" {
+            rec.fields.push((key.to_string(), (val == "true") as u8 as f64));
+        } else if let Ok(x) = val.parse::<f64>() {
+            rec.fields.push((key.to_string(), x));
+        }
+    }
+    (!rec.bench.is_empty()).then_some(rec)
+}
+
+/// Which way a metric is allowed to move. `Info` fields (counts, config
+/// echoes) are reported but never gate.
+enum Direction {
+    Higher,
+    Lower,
+    Info,
+}
+
+fn direction(bench: &str, field: &str) -> Direction {
+    if field == "x" && bench.contains("error") {
+        return Direction::Lower;
+    }
+    if field.ends_with("gflops")
+        || field.ends_with("speedup")
+        || field.ends_with("qps")
+        || field.ends_with("identical")
+        || field == "x"
+    {
+        Direction::Higher
+    } else if field.ends_with("ms")
+        || field.ends_with("_s")
+        || field.ends_with("pct")
+        || field.ends_with("err")
+        || field.ends_with("lost")
+    {
+        Direction::Lower
+    } else {
+        Direction::Info
+    }
+}
+
+/// `bench regress`: compare the committed `BENCH_pr3..pr8.json` trajectory
+/// against a fresh run and fail on a >20% regression of any directed gate
+/// metric. The virtual-time benches (serve, failover) always run at the
+/// committed full-mode workload so their records line up with the
+/// artifacts; the wall-clock benches (kernels, metrics-overhead,
+/// randomized) only run without `--quick`, since their absolute readings
+/// are machine-dependent and only comparable on a host like the one that
+/// produced the committed artifacts.
+fn run_regress(quick: bool) {
+    let tmp = std::env::temp_dir().join(format!("tucker_regress_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&tmp) {
+        eprintln!("bench regress: cannot create {}: {e}", tmp.display());
+        std::process::exit(1);
+    }
+    let path = |n: &str| tmp.join(n).display().to_string();
+    run_serve(false, &path("pr5.json"));
+    run_failover(false, &path("pr7.json"));
+    let mut fresh_files = vec![path("pr5.json"), path("pr7.json")];
+    if !quick {
+        run_kernels(false, &path("kernels.json"));
+        run_metrics_overhead(false, &path("pr4.json"));
+        run_randomized(false, &path("pr8.json"));
+        fresh_files.extend([path("kernels.json"), path("pr4.json"), path("pr8.json")]);
+    }
+    let mut fresh: Vec<FlatRec> = Vec::new();
+    for f in &fresh_files {
+        let text = std::fs::read_to_string(f).expect("fresh artifact just written");
+        fresh.extend(split_objects(&text).into_iter().filter_map(parse_flat));
+    }
+
+    const TOLERANCE_PCT: f64 = 20.0;
+    let mut regressions: Vec<String> = Vec::new();
+    let (mut compared, mut skipped) = (0usize, 0usize);
+    println!(
+        "regress: committed trajectory vs fresh run ({}), tolerance {TOLERANCE_PCT:.0}%",
+        if quick { "virtual-time benches only" } else { "all benches" }
+    );
+    for art in ["BENCH_pr3.json", "BENCH_pr4.json", "BENCH_pr5.json", "BENCH_pr6.json",
+        "BENCH_pr7.json", "BENCH_pr8.json"]
+    {
+        let Ok(text) = std::fs::read_to_string(art) else {
+            println!("  {art}: not committed, skipped");
+            continue;
+        };
+        for rec in split_objects(&text).into_iter().filter_map(parse_flat) {
+            let twin = fresh.iter().find(|f| {
+                f.bench == rec.bench && f.shape == rec.shape && f.precision == rec.precision
+            });
+            for (field, old) in &rec.fields {
+                let Some(new) = twin
+                    .and_then(|t| t.fields.iter().find(|(k, _)| k == field))
+                    .map(|&(_, v)| v)
+                else {
+                    skipped += 1;
+                    continue;
+                };
+                compared += 1;
+                let delta_pct = if *old != 0.0 {
+                    (new - old) / old.abs() * 100.0
+                } else if new == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY * new.signum()
+                };
+                let dir = direction(&rec.bench, field);
+                let bad = match dir {
+                    Direction::Higher => delta_pct < -TOLERANCE_PCT,
+                    // A committed zero (e.g. failover_lost) must stay zero.
+                    Direction::Lower => delta_pct > TOLERANCE_PCT || (*old == 0.0 && new > 0.0),
+                    Direction::Info => false,
+                };
+                let tag = match (bad, dir) {
+                    (true, _) => "REGRESSED",
+                    (false, Direction::Info) => "info",
+                    (false, _) => "ok",
+                };
+                println!(
+                    "  {art} {}/{}{} {field}: {old:.6} -> {new:.6} ({delta_pct:+.1}%) {tag}",
+                    rec.bench,
+                    rec.shape,
+                    if rec.precision.is_empty() {
+                        String::new()
+                    } else {
+                        format!("/{}", rec.precision)
+                    },
+                );
+                if bad {
+                    regressions.push(format!(
+                        "{art} {} {field}: {old:.6} -> {new:.6} ({delta_pct:+.1}%)",
+                        rec.bench
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "regress: {compared} metrics compared, {skipped} skipped (no matching fresh record), \
+         {} regressions",
+        regressions.len()
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+    if compared == 0 {
+        eprintln!("bench regress: nothing compared — committed artifacts missing or unreadable");
+        std::process::exit(1);
+    }
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("bench regress: {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sub = args.first().map(String::as_str);
-    if sub != Some("kernels")
-        && sub != Some("metrics-overhead")
-        && sub != Some("serve")
-        && sub != Some("failover")
-        && sub != Some("randomized")
-    {
+    let known = ["kernels", "metrics-overhead", "serve", "failover", "randomized",
+        "observability", "regress"];
+    if !sub.is_some_and(|s| known.contains(&s)) {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -712,6 +1028,7 @@ fn main() {
         Some("serve") => "BENCH_pr5.json",
         Some("failover") => "BENCH_pr7.json",
         Some("randomized") => "BENCH_pr8.json",
+        Some("observability") => "BENCH_pr9.json",
         _ => "BENCH_pr4.json",
     }
     .to_string();
@@ -720,23 +1037,20 @@ fn main() {
             out_path = w[1].clone();
         }
     }
-    if sub == Some("serve") {
-        run_serve(quick, &out_path);
-        return;
+    match sub {
+        Some("serve") => run_serve(quick, &out_path),
+        Some("randomized") => run_randomized(quick, &out_path),
+        Some("failover") => run_failover(quick, &out_path),
+        Some("metrics-overhead") => run_metrics_overhead(quick, &out_path),
+        Some("observability") => run_observability(quick, &out_path),
+        Some("regress") => run_regress(quick),
+        _ => run_kernels(quick, &out_path),
     }
-    if sub == Some("randomized") {
-        run_randomized(quick, &out_path);
-        return;
-    }
-    if sub == Some("failover") {
-        run_failover(quick, &out_path);
-        return;
-    }
-    if sub == Some("metrics-overhead") {
-        run_metrics_overhead(quick, &out_path);
-        return;
-    }
+}
 
+/// `bench kernels`: the hot-kernel throughput baseline plus the PR3 GEMM
+/// and PR6 LQ acceptance gates (full mode only).
+fn run_kernels(quick: bool, out_path: &str) {
     let mut recs = Vec::new();
     let (g64, r64) = bench_gemm::<f64>(quick, &mut recs);
     let (g32, r32) = bench_gemm::<f32>(quick, &mut recs);
@@ -792,7 +1106,7 @@ fn main() {
 
     let body: Vec<String> = recs.iter().map(|r| format!("  {}", r.json())).collect();
     let json = format!("[\n{}\n]\n", body.join(",\n"));
-    if let Err(e) = std::fs::write(&out_path, json) {
+    if let Err(e) = std::fs::write(out_path, json) {
         eprintln!("bench kernels: cannot write {out_path}: {e}");
         std::process::exit(1);
     }

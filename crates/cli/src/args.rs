@@ -16,7 +16,7 @@ pub struct Args {
 
 /// Flags that take no value.
 const BARE_FLAGS: &[&str] =
-    &["f32", "help", "model-check", "no-cache", "quick", "resume", "validate", "verify"];
+    &["f32", "help", "json", "model-check", "no-cache", "quick", "resume", "validate", "verify"];
 
 /// Parse a token stream (without the program name).
 pub fn parse(tokens: &[String]) -> Result<Args, String> {

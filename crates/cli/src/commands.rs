@@ -18,8 +18,8 @@ use tucker_mpisim::{
     ThreadTopology, TraceConfig,
 };
 use tucker_serve::{
-    run_failover_bench, run_serve_bench, AnyStore, Engine, EngineConfig, OrderPolicy, Query,
-    TuckerStore,
+    evaluate_slo, run_failover_bench, run_serve_bench, run_tier_workload, AnyStore, Engine,
+    EngineConfig, ObsConfig, OrderPolicy, Query, SloPolicy, TuckerStore,
 };
 use tucker_tensor::io::{read_tensor, read_tensor_header, write_tensor, StoredPrecision, TensorChunks};
 use tucker_tensor::{hyperslab, FrobAccumulator, Tensor};
@@ -47,11 +47,22 @@ usage:
                   (splits a store into N mode-0 shards: shard0000.tkr … plus
                    a TKSM manifest, for the replicated serving tier)
   tucker serve-bench [--quick] [--out bench.json]
-                  [--shards N --replicas K [--inject SPEC]]
+                  [--shards N --replicas K [--inject SPEC]] [--trace DIR]
                   (--shards switches to the replicated-tier benchmark:
                    healthy/failover/overload runs over N shards x K replicas;
                    --inject arms an mpisim fault plan against world ranks,
                    e.g. 'crash:rank=1,op=2' or 'flaky:0:0..40:5')
+                  (--trace runs one fully observed tier workload instead and
+                   writes DIR/trace.json (merged Chrome trace), DIR/serve.log
+                   (serve-log-v1 JSON lines), DIR/slo.json, and
+                   DIR/critical_path.txt)
+  tucker slo-report [--quick] [--shards N --replicas K] [--inject SPEC]
+                  [--slo-p50-ms X --slo-p99-ms X --slo-error-rate X
+                   --slo-recovery-ms X] [--json] [--out report.json]
+                  (evaluates per-tenant latency, error-rate, and
+                   failover-recovery objectives over a deterministic tier
+                   workload; prints a table, or JSON with --json, and exits
+                   nonzero naming the breached objectives)
   tucker simulate [in.tns] --grid 2x2x2 [--kind hcci|sp|video|random --dims 32x32x32 --seed N]
                   [--tol 1e-4 | --ranks 5x5x5] [--svd qr|gram|gram-mixed|randomized|sketched-gram]
                   [--oversample P --power Q --sketch-rows S --sketch-seed N]
@@ -77,6 +88,7 @@ pub fn run(a: &Args) -> Result<(), String> {
         "query" => query_cmd(a),
         "shard" => shard_cmd(a),
         "serve-bench" => serve_bench_cmd(a),
+        "slo-report" => slo_report_cmd(a),
         "simulate" => simulate(a),
         "info" => info(a),
         "error" => error_cmd(a),
@@ -422,6 +434,9 @@ fn shard_typed<T: tucker_tensor::io::IoScalar>(
 /// (`BENCH_pr7.json`), with `--inject` arming an mpisim fault plan against
 /// world ranks.
 fn serve_bench_cmd(a: &Args) -> Result<(), String> {
+    if a.opt("trace").is_some() {
+        return serve_trace_cmd(a);
+    }
     if a.opt("shards").is_some() || a.opt("replicas").is_some() || a.opt("inject").is_some() {
         return failover_bench_cmd(a);
     }
@@ -481,6 +496,110 @@ fn failover_bench_cmd(a: &Args) -> Result<(), String> {
         r.overload_rejected,
         r.overload_shed_low,
     );
+    Ok(())
+}
+
+/// Shared option parsing for the observed tier workload behind
+/// `serve-bench --trace` and `slo-report`: shard/replica counts (default
+/// 2×2) and an optional `--inject` fault plan (default: crash one replica
+/// mid-workload, so every trace contains a real failover story).
+fn tier_options(a: &Args) -> Result<(usize, usize, Option<FaultPlan>), String> {
+    let parse_count = |key: &str, default: &str| -> Result<usize, String> {
+        let n: usize =
+            a.opt(key).unwrap_or(default).parse().map_err(|_| format!("bad --{key}"))?;
+        if n == 0 {
+            return Err(format!("--{key} must be positive"));
+        }
+        Ok(n)
+    };
+    let shards = parse_count("shards", "2")?;
+    let replicas = parse_count("replicas", "2")?;
+    let plan = match a.opt("inject") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --inject: {e}"))?),
+        None => None,
+    };
+    Ok((shards, replicas, plan))
+}
+
+/// `serve-bench --trace DIR`: run one fully observed tier workload and
+/// export every observability artifact — the merged Chrome trace (span
+/// lanes + router lane, loadable in Perfetto), the `serve-log-v1`
+/// structured log, the SLO report, and the per-query critical-path
+/// attribution. All four files are pure functions of the virtual timeline:
+/// byte-identical across runs.
+fn serve_trace_cmd(a: &Args) -> Result<(), String> {
+    let dir = std::path::Path::new(a.opt("trace").expect("caller checked --trace"));
+    let (shards, replicas, plan) = tier_options(a)?;
+    let (router, report) =
+        run_tier_workload(a.flag("quick"), shards, replicas, plan.as_ref(), ObsConfig::full())
+            .map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let obs = router.observer();
+    let merged = obs.merged_traces(&[]);
+    std::fs::write(dir.join("trace.json"), chrome_trace_json(&merged)).map_err(io_err)?;
+    std::fs::write(dir.join("serve.log"), obs.log_text()).map_err(io_err)?;
+    let slo = evaluate_slo(router.metrics(), &slo_policy(a)?);
+    std::fs::write(dir.join("slo.json"), slo.to_json()).map_err(io_err)?;
+    std::fs::write(dir.join("critical_path.txt"), obs.critical_path_report()).map_err(io_err)?;
+    println!(
+        concat!(
+            "traced {}x{} tier: {} completed, {} failed, {} spans across {} lanes, ",
+            "{} log lines, {} slow queries"
+        ),
+        shards,
+        replicas,
+        report.completions.len(),
+        report.failures.len(),
+        obs.span_count(),
+        merged.len(),
+        obs.log_lines().len(),
+        obs.slow_queries(),
+    );
+    println!("wrote trace.json, serve.log, slo.json, critical_path.txt to {}", dir.display());
+    if slo.breached() {
+        println!("note: SLO breached ({}); see slo.json", slo.breached_names().join(", "));
+    }
+    Ok(())
+}
+
+/// Parse `--slo-*` objective overrides on top of the default policy.
+fn slo_policy(a: &Args) -> Result<SloPolicy, String> {
+    let mut p = SloPolicy::default();
+    let set = |key: &str, field: &mut f64| -> Result<(), String> {
+        if let Some(v) = a.opt(key) {
+            *field = v.parse().map_err(|_| format!("bad --{key}"))?;
+        }
+        Ok(())
+    };
+    set("slo-p50-ms", &mut p.p50_ms)?;
+    set("slo-p99-ms", &mut p.p99_ms)?;
+    set("slo-error-rate", &mut p.error_rate)?;
+    set("slo-recovery-ms", &mut p.recovery_ms)?;
+    Ok(p)
+}
+
+/// `tucker slo-report`: evaluate the SLO objectives over a deterministic
+/// tier workload and exit nonzero on breach, naming the breached
+/// objectives. The inputs are virtual-time metrics, so the report is
+/// byte-identical across invocations.
+fn slo_report_cmd(a: &Args) -> Result<(), String> {
+    let (shards, replicas, plan) = tier_options(a)?;
+    // SLO inputs (per-tenant latency histograms, error counters, the
+    // recovery gauge) are recorded unconditionally, so the report does not
+    // need tracing or logging enabled.
+    let (router, _report) =
+        run_tier_workload(a.flag("quick"), shards, replicas, plan.as_ref(), ObsConfig::default())
+            .map_err(|e| e.to_string())?;
+    let slo = evaluate_slo(router.metrics(), &slo_policy(a)?);
+    let doc = if a.flag("json") { slo.to_json() } else { slo.table() };
+    if let Some(path) = a.opt("out") {
+        std::fs::write(path, &doc).map_err(io_err)?;
+        println!("wrote SLO report to {path}");
+    }
+    print!("{doc}");
+    if slo.breached() {
+        return Err(format!("SLO breach: {}", slo.breached_names().join(", ")));
+    }
     Ok(())
 }
 
@@ -1306,6 +1425,73 @@ mod tests {
             &parse(&toks("serve-bench --quick --shards 2 --inject flood:rank=0,op=1")).unwrap()
         )
         .is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_trace_exports_observability_artifacts_deterministically() {
+        let dir = tmpdir().join("servetrace");
+        let d1 = dir.join("run1").display().to_string();
+        let d2 = dir.join("run2").display().to_string();
+        run(&parse(&toks(&format!("serve-bench --quick --trace {d1}"))).unwrap()).unwrap();
+
+        // One merged Chrome-trace file telling the failover story: the
+        // default plan crashes rank 1, so some query must show a failed
+        // attempt, a backoff, and a successful retry on the other replica.
+        let trace = std::fs::read_to_string(format!("{d1}/trace.json")).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains(" crash\",\"ph\":\"X\""), "crashed attempt span missing");
+        assert!(trace.contains("/backoff#0\""), "backoff span missing");
+        assert!(trace.contains(" ok\",\"ph\":\"X\""), "successful retry span missing");
+        assert!(trace.contains("fault: "), "fault instant missing");
+
+        let log = std::fs::read_to_string(format!("{d1}/serve.log")).unwrap();
+        assert!(log.lines().all(|l| l.starts_with("{\"schema\":\"serve-log-v1\"")));
+        assert!(log.contains("\"event\":\"failover\""), "failover must be logged");
+        assert!(log.contains("\"event\":\"complete\""));
+
+        let slo = std::fs::read_to_string(format!("{d1}/slo.json")).unwrap();
+        assert!(slo.starts_with("{\"schema\":\"tucker-slo-v1\""));
+        let cp = std::fs::read_to_string(format!("{d1}/critical_path.txt")).unwrap();
+        assert!(cp.contains("per-query critical path"), "{cp}");
+        assert!(cp.contains("= request #"), "legend maps pseudo-ranks to requests");
+
+        // Byte-identical across runs: every artifact is virtual-time pure.
+        run(&parse(&toks(&format!("serve-bench --quick --trace {d2}"))).unwrap()).unwrap();
+        for f in ["trace.json", "serve.log", "slo.json", "critical_path.txt"] {
+            let a = std::fs::read(format!("{d1}/{f}")).unwrap();
+            let b = std::fs::read(format!("{d2}/{f}")).unwrap();
+            assert_eq!(a, b, "{f} must be byte-identical across runs");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn slo_report_passes_healthy_and_fails_naming_breached_objectives() {
+        let dir = tmpdir().join("sloreport");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("slo.json").display().to_string();
+        // Default plan: one crashed replica, zero lost queries — within SLO.
+        run(&parse(&toks("slo-report --quick")).unwrap()).unwrap();
+        // Kill both replicas of shard 0 up front: every query touching
+        // shard 0 fails typed, blowing the 0.1% error budget.
+        let msg = run(&parse(&toks(&format!(
+            "slo-report --quick --inject crash:rank=0,op=0;crash:rank=1,op=0 --json --out {out}"
+        )))
+        .unwrap())
+        .unwrap_err();
+        assert!(msg.contains("SLO breach"), "{msg}");
+        assert!(msg.contains("error_rate"), "breach must name the objective: {msg}");
+        let doc = std::fs::read_to_string(&out).unwrap();
+        assert!(doc.starts_with("{\"schema\":\"tucker-slo-v1\",\"breached\":true"), "{doc}");
+        assert!(doc.contains("\"name\":\"error_rate\""), "{doc}");
+        // A loosened budget accepts the same run.
+        run(&parse(&toks(
+            "slo-report --quick --inject crash:rank=0,op=0;crash:rank=1,op=0 \
+             --slo-error-rate 0.9",
+        ))
+        .unwrap())
+        .unwrap();
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -288,6 +288,10 @@ pub fn hosvd_step<T: Scalar>(
         // how close the smallest retained singular value sits to the
         // ε·‖X‖ noise floor that separates Gram-SVD from QR-SVD (paper §2.3).
         reg.gauge_set(&format!("sthosvd/mode{n}/retained_rank"), r_n as f64);
+        // Unfolding width I*/I_n at this step: the problem size every mode
+        // driver faced (the partially truncated tensor shrinks as modes
+        // complete, so this is not derivable from the input dims alone).
+        reg.gauge_set(&format!("sthosvd/mode{n}/unfolding_cols"), jstar_cols as f64);
         let trunc_err = (tail.max(T::ZERO).sqrt() / norm_x).to_f64();
         reg.gauge_set(&format!("sthosvd/mode{n}/truncation_error"), trunc_err);
         if r_n > 0 {

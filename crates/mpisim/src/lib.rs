@@ -49,8 +49,10 @@ pub use comm::Comm;
 pub use cost::CostModel;
 pub use error::{MpiSimError, SimFailure};
 pub use fault::{CrashInfo, CrashRegistry, Fault, FaultKind, FaultPlan, MAX_SEND_RETRIES};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{json_f64, Histogram, MetricsRegistry};
 pub use runtime::{Ctx, SimOutput, Simulator, ThreadTopology};
 pub use stats::{Breakdown, PhaseCritical, PhaseStat, RankStats};
-pub use trace::{chrome_trace_json, text_timeline, EventKind, RankTrace, TraceConfig, TraceEvent};
+pub use trace::{
+    chrome_trace_json, text_timeline, EventKind, RankTrace, TraceBuffer, TraceConfig, TraceEvent,
+};
 pub use wire::Wire;

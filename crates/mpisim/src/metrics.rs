@@ -91,6 +91,28 @@ impl Histogram {
         self.sum += v;
     }
 
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (nearest-rank over the bucket counts), or `None` when empty.
+    ///
+    /// A log₂ histogram cannot recover exact sample values, so this returns
+    /// the *inclusive* upper edge `2^(b+1) − 1` of the chosen bucket — a
+    /// conservative (never understated) latency estimate, which is the right
+    /// direction for SLO evaluation. `q` is clamped to `[0, 1]`.
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&b, &c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return Some(if b >= 63 { u64::MAX } else { (1u64 << (b + 1)) - 1 });
+            }
+        }
+        unreachable!("bucket counts sum to count")
+    }
+
     fn json(&self) -> String {
         let buckets: Vec<String> =
             self.buckets.iter().map(|(b, c)| format!("\"{b}\":{c}")).collect();
@@ -268,8 +290,10 @@ impl MetricsRegistry {
 
 /// Render an `f64` as a JSON number. Finite values use Rust's shortest
 /// round-trip formatting (deterministic for identical bit patterns);
-/// non-finite values, which JSON cannot carry, become `null`.
-pub(crate) fn json_f64(v: f64) -> String {
+/// non-finite values, which JSON cannot carry, become `null`. Public so
+/// downstream deterministic exporters (the serving tier's SLO report and
+/// structured log) render floats under the exact same contract.
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v:?}");
         s
@@ -296,6 +320,24 @@ mod tests {
         assert_eq!(h.buckets[&2], 2);
         assert_eq!(h.buckets[&3], 1);
         assert_eq!(h.buckets[&10], 1);
+    }
+
+    #[test]
+    fn quantile_upper_is_nearest_rank_over_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile_upper(0.5), None);
+        h.record(1); // bucket 0, upper 1
+        assert_eq!(h.quantile_upper(0.0), Some(1));
+        assert_eq!(h.quantile_upper(1.0), Some(1));
+        for v in [100, 100, 100] {
+            h.record(v); // bucket 6, upper 127
+        }
+        h.record(5000); // bucket 12, upper 8191
+        assert_eq!(h.quantile_upper(0.5), Some(127));
+        assert_eq!(h.quantile_upper(0.99), Some(8191));
+        let mut top = Histogram::default();
+        top.record(u64::MAX); // bucket 63 saturates at u64::MAX
+        assert_eq!(top.quantile_upper(0.5), Some(u64::MAX));
     }
 
     #[test]

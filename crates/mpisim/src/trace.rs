@@ -107,6 +107,19 @@ pub enum EventKind {
         /// Human-readable description of what fired.
         desc: String,
     },
+    /// A complete span with an explicit duration, recorded after the fact.
+    ///
+    /// Unlike [`EventKind::PhaseBegin`]/[`EventKind::PhaseEnd`] pairs, spans
+    /// carry their own extent, so they need no stack discipline: they may
+    /// overlap, nest arbitrarily, and be pushed out of timestamp order on a
+    /// lane. The serving tier uses them for per-query attempt/backoff
+    /// windows, where concurrent queries interleave on one replica track.
+    Span {
+        /// Span label.
+        name: String,
+        /// Span length in seconds (same clock as the event's timestamp).
+        dur: f64,
+    },
 }
 
 /// One recorded event with its clocks.
@@ -188,6 +201,7 @@ fn fmt_kind(kind: &EventKind) -> String {
         EventKind::PhaseBegin { name } => format!("begin {name}"),
         EventKind::PhaseEnd { name } => format!("end   {name}"),
         EventKind::Fault { desc } => format!("fault {desc}"),
+        EventKind::Span { name, dur } => format!("span  {name} ({dur:.9}s)"),
     }
 }
 
@@ -329,6 +343,15 @@ pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
                         ts
                     ));
                 }
+                EventKind::Span { name, dur } => {
+                    events.push(format!(
+                        r#"{{"name":"{}","ph":"X","pid":0,"tid":{},"ts":{:.3},"dur":{:.3}}}"#,
+                        json_escape(name),
+                        t.rank,
+                        ts,
+                        (dur * 1e6).max(0.0)
+                    ));
+                }
             }
         }
         // A rank that died (or deadlocked) mid-phase leaves open frames;
@@ -447,6 +470,20 @@ mod tests {
         b.push(1.0, 2.0, EventKind::Send { dst: 1, tag: 1, bytes: 8 });
         let json = chrome_trace_json(&[b.snapshot(0)]);
         assert!(json.contains("Gram (unclosed)"), "{json}");
+    }
+
+    #[test]
+    fn explicit_spans_export_without_stack_discipline() {
+        let mut b = TraceBuffer::new(8);
+        // Overlapping and out-of-order spans on one lane: legal for the
+        // explicit-duration variant, impossible for begin/end pairs.
+        b.push(0.0, 3e-6, EventKind::Span { name: "q1/attempt#0".into(), dur: 2e-6 });
+        b.push(0.0, 1e-6, EventKind::Span { name: "q0/attempt#0".into(), dur: 4e-6 });
+        let json = chrome_trace_json(&[b.snapshot(0)]);
+        assert_eq!(json.matches(r#""ph":"X""#).count(), 2);
+        assert!(json.contains(r#""name":"q1/attempt#0","ph":"X","pid":0,"tid":0,"ts":3.000,"dur":2.000"#), "{json}");
+        assert!(json.contains(r#""ts":1.000,"dur":4.000"#), "{json}");
+        assert!(text_timeline(&[b.snapshot(0)]).contains("span  q0/attempt#0"));
     }
 
     #[test]

@@ -20,10 +20,12 @@
 
 use crate::engine::{Engine, EngineConfig, Request, RunConfig, RunReport};
 use crate::error::ServeError;
-use crate::router::{Router, TierRunConfig};
+use crate::obs::ObsConfig;
+use crate::router::{Router, TierReport, TierRunConfig};
 use crate::store::TuckerStore;
 use crate::workload::{assign_tenants, synthetic_store, synthetic_trace, WorkloadConfig};
 use std::collections::BTreeMap;
+use std::time::Instant;
 use tucker_mpisim::FaultPlan;
 
 /// Everything `BENCH_pr5.json` records.
@@ -382,6 +384,166 @@ pub fn run_failover_bench(
     })
 }
 
+/// Run the failover-bench scenario once on a fresh `shards × replicas`
+/// tier with the given observability configuration, returning the router
+/// (for its metrics, observer, and trace lanes) alongside the report.
+///
+/// This is the shared workload behind `serve-bench --trace`, `tucker
+/// slo-report`, and [`run_observability_bench`]: the quick shape is
+/// `48×40×36` at ranks `12×10×9` with 120 requests, the full shape is the
+/// workload default. `plan = None` arms the default mid-workload crash of
+/// rank `1 % world` so every artifact produced from this workload contains
+/// a real failover story.
+pub fn run_tier_workload(
+    quick: bool,
+    shards: usize,
+    replicas: usize,
+    plan: Option<&FaultPlan>,
+    obs: ObsConfig,
+) -> Result<(Router<f64>, TierReport), ServeError> {
+    let wl = if quick {
+        WorkloadConfig {
+            dims: vec![48, 40, 36],
+            ranks: vec![12, 10, 9],
+            requests: 120,
+            ..WorkloadConfig::default()
+        }
+    } else {
+        WorkloadConfig::default()
+    };
+    assert!(shards >= 1 && replicas >= 1, "need at least one shard and replica");
+    let mut trace = synthetic_trace(&wl);
+    assign_tenants(&mut trace, 4, 0.3, wl.seed);
+    let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
+    let world = shards * replicas;
+    let default_plan = FaultPlan::new().crash(1 % world, 2);
+    let plan = plan.unwrap_or(&default_plan);
+    let mut router = Router::new(&tucker, shards, replicas, EngineConfig::default(), plan);
+    router.enable_obs(obs);
+    let report = router.run(&trace, &TierRunConfig::default());
+    Ok((router, report))
+}
+
+/// Everything `BENCH_pr9.json` records: the cost of full observability
+/// (tracing + structured logging at `debug`) on the serving loop.
+#[derive(Clone, Debug)]
+pub struct ObservabilityBenchResult {
+    /// Synthetic tensor dimensions.
+    pub shape: Vec<usize>,
+    /// Stored ranks.
+    pub ranks: Vec<usize>,
+    /// Requests in the trace.
+    pub queries: usize,
+    /// Median wall-clock per run, observability off, milliseconds.
+    pub off_ms: f64,
+    /// Median wall-clock per run, observability on, milliseconds.
+    pub on_ms: f64,
+    /// `(median paired on/off ratio − 1) × 100` — the gated number, < 2%.
+    pub overhead_pct: f64,
+    /// Spans recorded by the instrumented run.
+    pub spans: u64,
+    /// Structured log lines emitted by the instrumented run.
+    pub log_lines: usize,
+    /// Whether every completion CRC agreed between the off and on runs.
+    pub bit_identical: bool,
+}
+
+impl ObservabilityBenchResult {
+    /// Deterministic JSON (keys in fixed order). `off_ms`/`on_ms`/
+    /// `overhead_pct` are wall-clock and therefore machine-dependent; the
+    /// gate is the paired ratio, which is stable across machines.
+    pub fn to_json(&self) -> String {
+        let ints = |v: &[usize]| {
+            v.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+        };
+        format!(
+            concat!(
+                "{{\"bench\":\"observability\",\"shape\":[{shape}],\"ranks\":[{ranks}],",
+                "\"queries\":{queries},\"off_ms\":{off:.4},\"on_ms\":{on:.4},",
+                "\"overhead_pct\":{ov:.4},\"spans\":{spans},",
+                "\"log_lines\":{lines},\"bit_identical\":{bit}}}"
+            ),
+            shape = ints(&self.shape),
+            ranks = ints(&self.ranks),
+            queries = self.queries,
+            off = self.off_ms,
+            on = self.on_ms,
+            ov = self.overhead_pct,
+            spans = self.spans,
+            lines = self.log_lines,
+            bit = self.bit_identical,
+        )
+    }
+}
+
+/// Measure the serving-loop cost of observability on the 2×2 failover
+/// workload: paired off/on rounds (off first, then on, per round) with a
+/// discarded warmup pair; the reported overhead is the *median* of the
+/// per-round on/off wall-clock ratios, which cancels machine speed and
+/// most scheduler noise. Results must be bit-identical between the two
+/// configurations — tracing and logging are pure side-buffers.
+pub fn run_observability_bench(quick: bool) -> Result<ObservabilityBenchResult, ServeError> {
+    let (shards, replicas) = (2, 2);
+    let rounds = if quick { 3 } else { 25 };
+
+    // Warmup pair: page in the store, warm allocators and branch caches.
+    let (_, warm_off) = run_tier_workload(quick, shards, replicas, None, ObsConfig::default())?;
+    let (_, warm_on) = run_tier_workload(quick, shards, replicas, None, ObsConfig::full())?;
+    assert_eq!(warm_off.completions.len(), warm_on.completions.len());
+
+    let mut ratios = Vec::with_capacity(rounds);
+    let mut offs = Vec::with_capacity(rounds);
+    let mut ons = Vec::with_capacity(rounds);
+    let mut last_on: Option<(Router<f64>, TierReport)> = None;
+    let mut baseline: Option<BTreeMap<usize, u32>> = None;
+    let mut bit_identical = true;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        let (_, off_report) =
+            run_tier_workload(quick, shards, replicas, None, ObsConfig::default())?;
+        let off_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let on = run_tier_workload(quick, shards, replicas, None, ObsConfig::full())?;
+        let on_s = t1.elapsed().as_secs_f64();
+
+        let off_crc: BTreeMap<usize, u32> =
+            off_report.completions.iter().map(|c| (c.index, c.crc)).collect();
+        let on_crc: BTreeMap<usize, u32> =
+            on.1.completions.iter().map(|c| (c.index, c.crc)).collect();
+        bit_identical &= off_crc == on_crc;
+        match &baseline {
+            Some(b) => bit_identical &= *b == off_crc,
+            None => baseline = Some(off_crc),
+        }
+
+        ratios.push(on_s / off_s.max(1e-12));
+        offs.push(off_s);
+        ons.push(on_s);
+        last_on = Some(on);
+    }
+    assert!(bit_identical, "observability must not perturb results");
+
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        v[v.len() / 2]
+    };
+    let overhead_pct = (median(&mut ratios) - 1.0) * 100.0;
+    let (router, report) = last_on.expect("rounds >= 1");
+    let obs = router.observer();
+    Ok(ObservabilityBenchResult {
+        shape: if quick { vec![48, 40, 36] } else { WorkloadConfig::default().dims },
+        ranks: if quick { vec![12, 10, 9] } else { WorkloadConfig::default().ranks },
+        queries: report.completions.len() + report.failures.len() + report.rejections.len(),
+        off_ms: median(&mut offs) * 1e3,
+        on_ms: median(&mut ons) * 1e3,
+        overhead_pct,
+        spans: obs.span_count(),
+        log_lines: obs.log_lines().len(),
+        bit_identical,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +590,43 @@ mod tests {
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn quick_observability_bench_is_bit_identical_and_instrumented() {
+        let r = run_observability_bench(true).expect("observability bench runs");
+        assert_eq!(r.queries, 120);
+        assert!(r.bit_identical, "tracing+logging must not perturb results");
+        assert!(r.spans > 0, "instrumented run must record spans");
+        assert!(r.log_lines > 0, "instrumented run must emit log lines");
+        let j = r.to_json();
+        for key in [
+            "\"bench\":\"observability\"",
+            "\"overhead_pct\":",
+            "\"bit_identical\":true",
+            "\"spans\":",
+            "\"log_lines\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // No overhead gate in quick mode — 3 rounds on a loaded CI box are
+        // too noisy; the committed artifact is produced by the full run.
+    }
+
+    #[test]
+    fn tier_workload_with_default_plan_tells_a_failover_story() {
+        let (router, report) =
+            run_tier_workload(true, 2, 2, None, ObsConfig::full()).expect("workload runs");
+        assert_eq!(report.completions.len(), 120, "nothing may be lost to the crash");
+        assert!(report.completions.iter().any(|c| c.failovers > 0), "crash must force failover");
+        let obs = router.observer();
+        assert!(obs.span_count() > 0);
+        assert!(
+            obs.log_lines().iter().any(|l| l.contains("\"event\":\"failover\"")),
+            "failover must be logged"
+        );
+        let traces = obs.snapshot();
+        assert_eq!(traces.len(), 5, "4 replica lanes + 1 router lane");
     }
 
     #[test]

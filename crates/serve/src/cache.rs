@@ -43,6 +43,15 @@ pub struct CacheStats {
     pub bytes: usize,
 }
 
+impl CacheStats {
+    /// Fraction of lookups that hit, or `None` before any lookup (avoids a
+    /// misleading 0.0 — "no data" and "all misses" are different states).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
 /// Byte-budgeted LRU of partial contraction tensors.
 pub struct ContractionCache<T> {
     map: BTreeMap<PartialKey, Entry<T>>,
@@ -138,6 +147,17 @@ mod tests {
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
         assert_eq!(c.stats().bytes, 256);
+    }
+
+    #[test]
+    fn hit_rate_is_none_until_first_lookup() {
+        let mut c = ContractionCache::new(1024);
+        assert_eq!(c.stats().hit_rate(), None);
+        assert!(c.get(key(0, 32)).is_none());
+        assert_eq!(c.stats().hit_rate(), Some(0.0));
+        c.insert(key(0, 32), tensor_of(256), 256);
+        assert!(c.get(key(0, 32)).is_some());
+        assert_eq!(c.stats().hit_rate(), Some(0.5));
     }
 
     #[test]

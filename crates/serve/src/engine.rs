@@ -29,6 +29,7 @@
 
 use crate::cache::{CacheStats, ContractionCache, PartialKey};
 use crate::error::ServeError;
+use crate::obs::{EngineSpan, EngineStep};
 use crate::plan::{plan, OrderPolicy, QueryPlan};
 use crate::query::Query;
 use crate::store::TuckerStore;
@@ -102,13 +103,37 @@ pub struct Engine<T: IoScalar> {
     cfg: EngineConfig,
     metrics: MetricsRegistry,
     synced: CacheStats,
+    record_spans: bool,
+    spans: Vec<EngineSpan>,
 }
 
 impl<T: IoScalar> Engine<T> {
     /// Wrap a store for serving.
     pub fn new(store: TuckerStore<T>, cfg: EngineConfig) -> Self {
         let cache = ContractionCache::new(cfg.cache_budget);
-        Engine { store, cache, cfg, metrics: MetricsRegistry::default(), synced: CacheStats::default() }
+        Engine {
+            store,
+            cache,
+            cfg,
+            metrics: MetricsRegistry::default(),
+            synced: CacheStats::default(),
+            record_spans: false,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Toggle per-call [`EngineSpan`] recording (cache lookups, the shared
+    /// mode-0 GEMM, per-mode TTM plan steps, the transfer tail). Recording
+    /// only appends to a side buffer — results and modeled costs are
+    /// bit-identical either way.
+    pub fn set_span_recording(&mut self, on: bool) {
+        self.record_spans = on;
+    }
+
+    /// Drain the spans recorded since the last call (empty when recording
+    /// is off). Offsets are relative to the call's service start.
+    pub fn take_spans(&mut self) -> Vec<EngineSpan> {
+        std::mem::take(&mut self.spans)
     }
 
     /// The underlying store.
@@ -161,6 +186,9 @@ impl<T: IoScalar> Engine<T> {
     /// once (one batched GEMM against the packed core) and sharing it
     /// across the batch — and across future batches via the cache.
     pub fn execute_batch(&mut self, qs: &[Query]) -> Result<BatchOutput<T>, ServeError> {
+        if self.record_spans {
+            self.spans.clear();
+        }
         let dims = self.store.dims().to_vec();
         let ranks = self.store.ranks().to_vec();
         if dims.is_empty() {
@@ -204,6 +232,17 @@ impl<T: IoScalar> Engine<T> {
             for (i, &spec) in distinct.iter().enumerate() {
                 let key = PartialKey { mode: 0, start: spec.0, end: spec.0 + spec.2 };
                 partials[i] = self.cache.get(key);
+                if self.record_spans {
+                    self.spans.push(EngineSpan {
+                        step: EngineStep::Cache {
+                            hit: partials[i].is_some(),
+                            start: spec.0,
+                            end: spec.0 + spec.2,
+                        },
+                        offset: 0.0,
+                        dur: 0.0,
+                    });
+                }
             }
         }
         let missing: Vec<usize> =
@@ -229,6 +268,13 @@ impl<T: IoScalar> Engine<T> {
         } else {
             self.cfg.cost.alpha + gamma * shared_flops
         };
+        if self.record_spans && shared_seconds > 0.0 {
+            self.spans.push(EngineSpan {
+                step: EngineStep::Gemm { shared: missing.len() },
+                offset: 0.0,
+                dur: shared_seconds,
+            });
+        }
 
         // Per-query tails.
         let mut outputs = Vec::with_capacity(qs.len());
@@ -252,12 +298,24 @@ impl<T: IoScalar> Engine<T> {
             counts[0] = count;
             let qplan = plan(&ranks, &counts, OrderPolicy::Exact);
             let mut y: Option<Tensor<T>> = None;
+            // Modeled offset of the next plan step within this query's
+            // service window (shared GEMM first, then the dispatch α).
+            let mut step_off = shared_seconds + self.cfg.cost.alpha;
             for n in 1..dims.len() {
                 let u = self.store.factor_rows(n, sel[n]);
                 let src = y.as_ref().unwrap_or(&base);
                 let before: usize = counts[..n].iter().product();
                 let after: usize = ranks[n + 1..].iter().product();
-                cost.flops += 2.0 * counts[n] as f64 * ranks[n] as f64 * (before * after) as f64;
+                let step_flops = 2.0 * counts[n] as f64 * ranks[n] as f64 * (before * after) as f64;
+                cost.flops += step_flops;
+                if self.record_spans {
+                    self.spans.push(EngineSpan {
+                        step: EngineStep::Ttm { mode: n },
+                        offset: step_off,
+                        dur: gamma * step_flops,
+                    });
+                    step_off += gamma * step_flops;
+                }
                 y = Some(ttm(src, n, u, false));
             }
             let tensor = match y {
@@ -267,6 +325,13 @@ impl<T: IoScalar> Engine<T> {
             cost.bytes += (tensor.len() * sb) as f64;
             cost.seconds =
                 self.cfg.cost.alpha + gamma * cost.flops + self.cfg.cost.beta_per_byte * cost.bytes;
+            if self.record_spans {
+                self.spans.push(EngineSpan {
+                    step: EngineStep::Emit,
+                    offset: step_off,
+                    dur: self.cfg.cost.beta_per_byte * cost.bytes,
+                });
+            }
             outputs.push(QueryOutput { tensor, cost, plan: qplan });
         }
         self.note_batch(&outputs, qs.len(), shared_seconds);
@@ -604,18 +669,15 @@ impl RunReport {
         l
     }
 
-    /// Exact latency quantile (0.0 ≤ q ≤ 1.0) by nearest-rank. Returns
-    /// `None` when nothing completed (e.g. a rejection-only overload run) —
-    /// callers must not read that as "p99 = 0" — or when the quantile is
-    /// not finite.
+    /// Latency quantile (`q` clamped to `[0, 1]`) with linear interpolation
+    /// between order statistics: quantile `q` sits at fractional position
+    /// `q·(n−1)` of the sorted samples, and values between two samples are
+    /// blended by the fractional part. Returns `None` when nothing
+    /// completed (e.g. a rejection-only overload run) — callers must not
+    /// read that as "p99 = 0" — or when the interpolated value is not
+    /// finite.
     pub fn latency_quantile(&self, q: f64) -> Option<f64> {
-        let l = self.latencies_sorted();
-        if l.is_empty() {
-            return None;
-        }
-        let rank = ((q * l.len() as f64).ceil() as usize).clamp(1, l.len());
-        let v = l[rank - 1];
-        v.is_finite().then_some(v)
+        interpolated_quantile(&self.latencies_sorted(), q)
     }
 
     /// Completed requests per virtual second.
@@ -625,5 +687,78 @@ impl RunReport {
         } else {
             0.0
         }
+    }
+}
+
+/// Linearly interpolated quantile over sorted samples; `None` when empty
+/// or not finite. Shared by [`RunReport`] and the tier's
+/// [`TierReport`](crate::router::TierReport).
+pub(crate) fn interpolated_quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let v = sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64);
+    v.is_finite().then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_latencies(lat: &[f64]) -> RunReport {
+        let completions = lat
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Completion {
+                index: i,
+                arrival: 0.0,
+                dispatch: 0.0,
+                finish: l,
+                batch_size: 1,
+                elems: 1,
+                crc: 0,
+            })
+            .collect();
+        RunReport { completions, rejections: Vec::new(), busy_seconds: 0.0, makespan: 1.0 }
+    }
+
+    #[test]
+    fn latency_quantile_is_none_on_zero_samples() {
+        let r = report_with_latencies(&[]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(r.latency_quantile(q), None, "empty set has no quantile");
+        }
+    }
+
+    #[test]
+    fn latency_quantile_one_sample_is_that_sample_at_every_q() {
+        let r = report_with_latencies(&[0.25]);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(r.latency_quantile(q), Some(0.25));
+        }
+    }
+
+    #[test]
+    fn latency_quantile_two_samples_interpolates_linearly() {
+        let r = report_with_latencies(&[1.0, 3.0]);
+        assert_eq!(r.latency_quantile(0.0), Some(1.0));
+        assert_eq!(r.latency_quantile(1.0), Some(3.0));
+        // Nearest-rank would snap to a sample; the median must now be the
+        // midpoint, and p75 three quarters of the way up.
+        assert_eq!(r.latency_quantile(0.5), Some(2.0));
+        assert_eq!(r.latency_quantile(0.75), Some(2.5));
+        // Out-of-range q clamps instead of indexing out of bounds.
+        assert_eq!(r.latency_quantile(-1.0), Some(1.0));
+        assert_eq!(r.latency_quantile(7.0), Some(3.0));
+    }
+
+    #[test]
+    fn latency_quantile_rejects_non_finite_interpolants() {
+        let r = report_with_latencies(&[1.0, f64::INFINITY]);
+        assert_eq!(r.latency_quantile(1.0), None, "infinite sample is not a quantile");
+        assert_eq!(r.latency_quantile(0.0), Some(1.0));
     }
 }

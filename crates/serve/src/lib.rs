@@ -16,9 +16,14 @@
 //!   tier with mpisim fault interpretation and a shared crash registry;
 //! - [`router`] — consistent-hash routing, failover with capped
 //!   exponential backoff, per-query timeouts, and mode-0 reassembly;
+//! - [`obs`] — request-scoped tracing ([`TraceContext`], span lanes merged
+//!   into the mpisim Chrome-trace export), the deterministic `serve-log-v1`
+//!   structured log, SLO evaluation ([`evaluate_slo`]), and per-query
+//!   critical-path attribution;
 //! - [`workload`] — seeded synthetic request traces;
-//! - [`bench`] — the `bench serve` / `serve-bench --shards` harnesses
-//!   behind `BENCH_pr5.json` and `BENCH_pr7.json`.
+//! - [`bench`] — the `bench serve` / `serve-bench --shards` /
+//!   `bench observability` harnesses behind `BENCH_pr5.json`,
+//!   `BENCH_pr7.json`, and `BENCH_pr9.json`.
 //!
 //! The engine's default path ([`OrderPolicy::Exact`]) is **bit-identical**
 //! to slicing `TuckerTensor::reconstruct()` — see the determinism argument
@@ -28,6 +33,7 @@ pub mod bench;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod obs;
 pub mod plan;
 pub mod query;
 pub mod replica;
@@ -35,13 +41,20 @@ pub mod router;
 pub mod store;
 pub mod workload;
 
-pub use bench::{run_failover_bench, run_serve_bench, FailoverBenchResult, ServeBenchResult};
+pub use bench::{
+    run_failover_bench, run_observability_bench, run_serve_bench, run_tier_workload,
+    FailoverBenchResult, ObservabilityBenchResult, ServeBenchResult,
+};
 pub use cache::{CacheStats, ContractionCache, PartialKey};
 pub use engine::{
     tensor_crc, BatchOutput, Completion, Engine, EngineConfig, Priority, QueryCost, QueryOutput,
     Rejection, Request, RunConfig, RunReport,
 };
 pub use error::ServeError;
+pub use obs::{
+    evaluate_slo, EngineSpan, EngineStep, LogLevel, ObsConfig, Observer, SloObjective, SloPolicy,
+    SloReport, TraceContext,
+};
 pub use plan::{plan, OrderPolicy, QueryPlan};
 pub use query::{ModeSel, Query, QueryKind};
 pub use replica::{ReplicaTier, ShardMap};

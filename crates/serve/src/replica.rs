@@ -32,6 +32,7 @@
 
 use crate::engine::{tensor_crc, Engine, EngineConfig};
 use crate::error::ServeError;
+use crate::obs::EngineSpan;
 use crate::plan::OrderPolicy;
 use crate::query::Query;
 use crate::store::TuckerStore;
@@ -116,6 +117,10 @@ pub(crate) enum Attempt<T> {
         crc: u32,
         /// Virtual time the response arrived.
         finish: f64,
+        /// Engine plan-step spans recorded inside the service window
+        /// (empty unless span recording is on), offsets relative to the
+        /// attempt's start.
+        sub: Vec<EngineSpan>,
     },
     /// The replica died on this attempt (it is now in the registry).
     Crashed {
@@ -229,6 +234,13 @@ impl<T: IoScalar> ReplicaTier<T> {
         self.clocks[rank]
     }
 
+    /// Toggle engine plan-step span recording on every replica.
+    pub(crate) fn set_span_recording(&mut self, on: bool) {
+        for e in &mut self.engines {
+            e.set_span_recording(on);
+        }
+    }
+
     /// Route one attempt of shard-local query `q` to `rank`, arriving at
     /// virtual time `at`. Consumes one op on the rank and interprets any
     /// fault scheduled there.
@@ -253,6 +265,7 @@ impl<T: IoScalar> ReplicaTier<T> {
                     Ok(out) => out,
                     Err(e) => return Attempt::Failed(e),
                 };
+                let sub = self.engines[rank].take_spans();
                 let mut tensor = out.tensor;
                 let mut service = out.cost.seconds;
                 // The replica fingerprints what it computed *before* the
@@ -267,7 +280,7 @@ impl<T: IoScalar> ReplicaTier<T> {
                 }
                 let finish = start + service;
                 self.clocks[rank] = finish;
-                Attempt::Served { tensor, crc, finish }
+                Attempt::Served { tensor, crc, finish, sub }
             }
         }
     }

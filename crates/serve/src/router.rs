@@ -33,6 +33,7 @@
 
 use crate::engine::{tensor_crc, EngineConfig, Priority, Rejection, Request};
 use crate::error::ServeError;
+use crate::obs::{mix64, Field, LogLevel, ObsConfig, Observer, SpanName, TraceContext};
 use crate::query::{ModeSel, Query};
 use crate::replica::{Attempt, ReplicaTier};
 use std::collections::{BTreeMap, VecDeque};
@@ -156,15 +157,11 @@ impl TierReport {
         l
     }
 
-    /// Nearest-rank latency quantile; `None` when nothing completed.
+    /// Latency quantile (`q` clamped to `[0, 1]`) with linear interpolation
+    /// between order statistics; `None` when nothing completed or when the
+    /// interpolated value is not finite.
     pub fn latency_quantile(&self, q: f64) -> Option<f64> {
-        let l = self.latencies_sorted();
-        if l.is_empty() {
-            return None;
-        }
-        let rank = ((q * l.len() as f64).ceil() as usize).clamp(1, l.len());
-        let v = l[rank - 1];
-        v.is_finite().then_some(v)
+        crate::engine::interpolated_quantile(&self.latencies_sorted(), q)
     }
 
     /// Completed requests per virtual second.
@@ -194,14 +191,6 @@ impl QueryStats {
             None => at,
         });
     }
-}
-
-/// SplitMix64 finalizer: the ring and routing hash.
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Where a query lands on its shard's ring: a pure function of the mode-0
@@ -241,6 +230,7 @@ pub struct Router<T: IoScalar> {
     dims: Vec<usize>,
     rings: Vec<Vec<(u64, usize)>>,
     metrics: MetricsRegistry,
+    obs: Observer,
 }
 
 impl<T: IoScalar> Router<T> {
@@ -274,12 +264,25 @@ impl<T: IoScalar> Router<T> {
             })
             .collect();
         let dims = tier.dims().to_vec();
-        Router { tier, dims, rings, metrics: MetricsRegistry::default() }
+        Router { tier, dims, rings, metrics: MetricsRegistry::default(), obs: Observer::off() }
     }
 
     /// The underlying tier.
     pub fn tier(&self) -> &ReplicaTier<T> {
         &self.tier
+    }
+
+    /// Switch observability collection on (or back off). Spans, log lines,
+    /// and attribution only change side buffers: results, CRCs, virtual
+    /// timings, and the serving order are bit-identical either way.
+    pub fn enable_obs(&mut self, cfg: ObsConfig) {
+        self.obs = Observer::new(cfg, self.tier.world_size());
+        self.tier.set_span_recording(cfg.tracing);
+    }
+
+    /// The observability sink (spans, structured log, attribution).
+    pub fn observer(&self) -> &Observer {
+        &self.obs
     }
 
     /// The router's metrics registry (`serve/replica/*`, `serve/retry/*`,
@@ -331,10 +334,65 @@ impl<T: IoScalar> Router<T> {
         ready
     }
 
+    /// Record one failed attempt: spans for the failed window and the
+    /// backoff that follows it, a fault instant on the replica lane, a
+    /// `warn` log line, and backoff attribution.
+    #[allow(clippy::too_many_arguments)]
+    fn note_failed_attempt(
+        &mut self,
+        index: usize,
+        ctx: TraceContext,
+        shard: usize,
+        rank: usize,
+        k: u32,
+        at: f64,
+        span_start: Option<(f64, f64)>,
+        backoff: f64,
+        cause: &'static str,
+    ) {
+        if self.obs.tracing() {
+            let replica = rank % self.tier.replicas();
+            let (s0, dur) = span_start.unwrap_or((at, 0.0));
+            self.obs.span(
+                rank,
+                s0,
+                SpanName::Attempt { index, k, shard, replica, outcome: cause },
+                dur,
+            );
+            self.obs.fault(rank, at, format!("q{index} attempt#{k} {cause} on r{rank}"));
+            let lane = self.obs.router_lane();
+            self.obs.span(lane, at, SpanName::Backoff { index, k }, backoff);
+            if dur > 0.0 {
+                self.obs.attr(index, "contraction", dur, 0.0, 0, 0);
+            }
+            self.obs.attr(index, "backoff", backoff, 0.0, 0, 0);
+        }
+        if self.obs.logging(LogLevel::Warn) {
+            self.obs.log(
+                LogLevel::Warn,
+                at,
+                "failover",
+                Some(ctx),
+                &[
+                    ("query", Field::U(index as u64)),
+                    ("shard", Field::U(shard as u64)),
+                    ("rank", Field::U(rank as u64)),
+                    ("attempt", Field::U(k as u64)),
+                    ("cause", Field::S(cause)),
+                    ("backoff", Field::F(backoff)),
+                ],
+                "attempt failed; retrying on next live replica",
+            );
+        }
+    }
+
     /// Serve one shard-local piece with failover: try live replicas in
     /// preference order, backing off exponentially after each failure.
+    #[allow(clippy::too_many_arguments)]
     fn serve_piece(
         &mut self,
+        index: usize,
+        ctx: TraceContext,
         shard: usize,
         q: &Query,
         t0: f64,
@@ -361,12 +419,58 @@ impl<T: IoScalar> Router<T> {
                     .into_iter()
                     .filter(|&r| self.tier.shard_of(r) == shard)
                     .collect();
+                if self.obs.tracing() {
+                    let lane = self.obs.router_lane();
+                    self.obs.fault(
+                        lane,
+                        t,
+                        format!("q{index} s{shard} replicas exhausted after {tried} attempts"),
+                    );
+                }
+                if self.obs.logging(LogLevel::Error) {
+                    self.obs.log(
+                        LogLevel::Error,
+                        t,
+                        "exhausted",
+                        Some(ctx),
+                        &[
+                            ("query", Field::U(index as u64)),
+                            ("shard", Field::U(shard as u64)),
+                            ("attempts", Field::U(tried as u64)),
+                            ("dead", Field::U(dead.len() as u64)),
+                        ],
+                        "no live replica answered",
+                    );
+                }
                 return Err(ServeError::ReplicasExhausted { shard, attempts: tried, dead });
             }
             let rank = alive[tried as usize % alive.len()];
             let start = t.max(self.tier.clock(rank));
             if start - t0 > policy.timeout {
                 self.metrics.counter_add("serve/retry/timeouts", 1);
+                if self.obs.tracing() {
+                    let lane = self.obs.router_lane();
+                    self.obs.fault(
+                        lane,
+                        start,
+                        format!("q{index} s{shard} timeout after {tried} attempts"),
+                    );
+                }
+                if self.obs.logging(LogLevel::Error) {
+                    self.obs.log(
+                        LogLevel::Error,
+                        start,
+                        "timeout",
+                        Some(ctx),
+                        &[
+                            ("query", Field::U(index as u64)),
+                            ("shard", Field::U(shard as u64)),
+                            ("elapsed", Field::F(start - t0)),
+                            ("budget", Field::F(policy.timeout)),
+                        ],
+                        "per-query budget exhausted before an attempt could start",
+                    );
+                }
                 return Err(ServeError::Timeout {
                     shard,
                     elapsed: start - t0,
@@ -375,10 +479,16 @@ impl<T: IoScalar> Router<T> {
             }
             tried += 1;
             stats.attempts += 1;
+            let k = tried - 1;
+            let actx = ctx.child(k as u64);
             self.metrics.counter_add("serve/retry/attempts", 1);
             self.metrics.counter_add(&format!("serve/replica/r{rank}/attempts"), 1);
+            if self.obs.tracing() {
+                // Replica-availability wait between target choice and start.
+                self.obs.attr(index, "routing", (start - t).max(0.0), 0.0, 0, 1);
+            }
             match self.tier.attempt(rank, q, t) {
-                Attempt::Served { tensor, crc, finish } => {
+                Attempt::Served { tensor, crc, finish, sub } => {
                     stats.busy += finish - start;
                     // Verify end-to-end: the router trusts its own CRC of
                     // the received payload, not the replica's word.
@@ -386,17 +496,48 @@ impl<T: IoScalar> Router<T> {
                         self.metrics.counter_add("serve/retry/integrity_failures", 1);
                         self.metrics.counter_add("serve/retry/failovers", 1);
                         stats.note_failure(finish);
+                        self.note_failed_attempt(
+                            index,
+                            actx,
+                            shard,
+                            rank,
+                            k,
+                            finish,
+                            Some((start, finish - start)),
+                            backoff,
+                            "corrupt",
+                        );
                         t = finish + backoff;
                         backoff = (backoff * 2.0).min(policy.backoff_cap);
                         continue;
                     }
                     self.metrics.counter_add(&format!("serve/replica/r{rank}/served"), 1);
+                    if self.obs.tracing() {
+                        let replica = rank % self.tier.replicas();
+                        self.obs.span(
+                            rank,
+                            start,
+                            SpanName::Attempt { index, k, shard, replica, outcome: "ok" },
+                            finish - start,
+                        );
+                        for s in &sub {
+                            self.obs.span(
+                                rank,
+                                start + s.offset,
+                                SpanName::Engine { index, step: s.step },
+                                s.dur,
+                            );
+                        }
+                        let bytes = (tensor.len() * std::mem::size_of::<T>()) as u64;
+                        self.obs.attr(index, "contraction", finish - start, 0.0, bytes, 0);
+                    }
                     return Ok((tensor, finish));
                 }
                 Attempt::Crashed { at } => {
                     self.metrics.counter_add("serve/replica/crashes", 1);
                     self.metrics.counter_add("serve/retry/failovers", 1);
                     stats.note_failure(at);
+                    self.note_failed_attempt(index, actx, shard, rank, k, at, None, backoff, "crash");
                     t = at + backoff;
                     backoff = (backoff * 2.0).min(policy.backoff_cap);
                 }
@@ -404,6 +545,7 @@ impl<T: IoScalar> Router<T> {
                     self.metrics.counter_add("serve/retry/dropped", 1);
                     self.metrics.counter_add("serve/retry/failovers", 1);
                     stats.note_failure(at);
+                    self.note_failed_attempt(index, actx, shard, rank, k, at, None, backoff, "drop");
                     t = at + backoff;
                     backoff = (backoff * 2.0).min(policy.backoff_cap);
                 }
@@ -425,10 +567,11 @@ impl<T: IoScalar> Router<T> {
         let sels = req.query.normalized(&self.dims);
         let pieces = self.tier.shard_map().split(sels[0]);
         let key = route_key(sels[0], req.tenant);
+        let ctx = TraceContext::mint(index, req.tenant);
         let mut stats = QueryStats::default();
         let mut parts = Vec::with_capacity(pieces.len());
         let mut finish = t0;
-        for &(shard, local0) in &pieces {
+        for (pi, &(shard, local0)) in pieces.iter().enumerate() {
             // Pieces run on disjoint replica sets: each starts at dispatch
             // time, in parallel in virtual time.
             let mut lsel = sels.clone();
@@ -439,12 +582,24 @@ impl<T: IoScalar> Router<T> {
                     .map(|&(start, step, count)| ModeSel::Strided { start, step, count })
                     .collect(),
             };
-            let (tensor, f) =
-                self.serve_piece(shard, &local, t0, key, &rc.retry, &mut stats)?;
+            let (tensor, f) = self.serve_piece(
+                index,
+                ctx.child(pi as u64),
+                shard,
+                &local,
+                t0,
+                key,
+                &rc.retry,
+                &mut stats,
+            )?;
             finish = finish.max(f);
             parts.push(tensor);
         }
         let tensor = concat_mode0(parts);
+        if self.obs.tracing() {
+            let bytes = (tensor.len() * std::mem::size_of::<T>()) as u64;
+            self.obs.attr(index, "reassembly", 0.0, 0.0, bytes, pieces.len() as u64);
+        }
         Ok((
             TierCompletion {
                 index,
@@ -501,6 +656,28 @@ impl<T: IoScalar> Router<T> {
                 let head = queue.pop_front().expect("non-empty");
                 *queued_by_tenant.entry(requests[head].tenant).or_insert(1) -= 1;
                 let t0 = self.ready_time(&requests[head]).max(requests[head].arrival);
+                let tenant = requests[head].tenant;
+                let ctx = TraceContext::mint(head, tenant);
+                let wait = (t0 - requests[head].arrival).max(0.0);
+                if self.obs.tracing() {
+                    let lane = self.obs.router_lane();
+                    self.obs.span(lane, requests[head].arrival, SpanName::Queue { index: head }, wait);
+                    self.obs.attr(head, "queue", wait, 0.0, 0, 0);
+                }
+                if self.obs.logging(LogLevel::Debug) {
+                    self.obs.log(
+                        LogLevel::Debug,
+                        t0,
+                        "dispatch",
+                        Some(ctx),
+                        &[
+                            ("query", Field::U(head as u64)),
+                            ("tenant", Field::U(tenant as u64)),
+                            ("queue_wait", Field::F(wait)),
+                        ],
+                        "dispatching admitted query",
+                    );
+                }
                 match self.serve_one(head, &requests[head], t0, rc) {
                     Ok((c, stats)) => {
                         makespan = makespan.max(c.finish);
@@ -512,10 +689,77 @@ impl<T: IoScalar> Router<T> {
                                 None => rec,
                             });
                         }
+                        // Per-tenant SLO inputs are recorded unconditionally
+                        // (pure virtual-time functions of the trace, so they
+                        // are identical with observability on or off).
+                        let latency = c.finish - c.arrival;
+                        self.metrics.observe(
+                            &format!("serve/tenant/t{tenant}/latency_ns"),
+                            (latency * 1e9) as u64,
+                        );
+                        self.metrics.counter_add(&format!("serve/tenant/t{tenant}/completed"), 1);
+                        let slow = latency > self.obs.config().slow_query_threshold;
+                        if slow {
+                            self.metrics.counter_add("serve/query/slow", 1);
+                            self.obs.note_slow();
+                        }
+                        self.obs.finish_query(head, latency);
+                        if self.obs.logging(LogLevel::Info) {
+                            self.obs.log(
+                                LogLevel::Info,
+                                c.finish,
+                                "complete",
+                                Some(ctx),
+                                &[
+                                    ("query", Field::U(head as u64)),
+                                    ("tenant", Field::U(tenant as u64)),
+                                    ("shards", Field::U(c.shards as u64)),
+                                    ("attempts", Field::U(c.attempts as u64)),
+                                    ("failovers", Field::U(c.failovers as u64)),
+                                    ("latency", Field::F(latency)),
+                                    ("crc", Field::U(c.crc as u64)),
+                                ],
+                                "query served",
+                            );
+                        }
+                        if slow && self.obs.logging(LogLevel::Warn) {
+                            self.obs.log(
+                                LogLevel::Warn,
+                                c.finish,
+                                "slow_query",
+                                Some(ctx),
+                                &[
+                                    ("query", Field::U(head as u64)),
+                                    ("tenant", Field::U(tenant as u64)),
+                                    ("latency", Field::F(latency)),
+                                    (
+                                        "threshold",
+                                        Field::F(self.obs.config().slow_query_threshold),
+                                    ),
+                                ],
+                                "latency over the slow-query threshold",
+                            );
+                        }
                         completions.push(c);
                     }
                     Err(error) => {
                         self.metrics.counter_add("serve/query/failed", 1);
+                        self.metrics.counter_add(&format!("serve/tenant/t{tenant}/failed"), 1);
+                        if self.obs.logging(LogLevel::Error) {
+                            let why = error.to_string();
+                            self.obs.log(
+                                LogLevel::Error,
+                                t0,
+                                "query_failed",
+                                Some(ctx),
+                                &[
+                                    ("query", Field::U(head as u64)),
+                                    ("tenant", Field::U(tenant as u64)),
+                                    ("error", Field::S(&why)),
+                                ],
+                                "admitted query lost",
+                            );
+                        }
                         failures.push(TierFailure {
                             index: head,
                             arrival: requests[head].arrival,
@@ -532,6 +776,20 @@ impl<T: IoScalar> Router<T> {
                 if rc.tenant_quota.is_some_and(|quota| tenant_queued >= quota) {
                     self.metrics.counter_add("serve/query/rejected", 1);
                     self.metrics.counter_add("serve/query/quota_rejected", 1);
+                    if self.obs.logging(LogLevel::Warn) {
+                        self.obs.log(
+                            LogLevel::Warn,
+                            t,
+                            "quota_rejected",
+                            Some(TraceContext::mint(idx, tenant)),
+                            &[
+                                ("query", Field::U(idx as u64)),
+                                ("tenant", Field::U(tenant as u64)),
+                                ("queued", Field::U(tenant_queued as u64)),
+                            ],
+                            "tenant over its admission quota",
+                        );
+                    }
                     rejections.push(Rejection {
                         index: idx,
                         arrival: t,
@@ -557,6 +815,20 @@ impl<T: IoScalar> Router<T> {
                         let victim = queue.remove(pos).expect("in range");
                         *queued_by_tenant.entry(requests[victim].tenant).or_insert(1) -= 1;
                         self.metrics.counter_add("serve/query/shed_low", 1);
+                        if self.obs.logging(LogLevel::Warn) {
+                            self.obs.log(
+                                LogLevel::Warn,
+                                t,
+                                "shed_low",
+                                Some(TraceContext::mint(victim, requests[victim].tenant)),
+                                &[
+                                    ("query", Field::U(victim as u64)),
+                                    ("tenant", Field::U(requests[victim].tenant as u64)),
+                                    ("evicted_for", Field::U(idx as u64)),
+                                ],
+                                "low-priority request shed for a high-priority arrival",
+                            );
+                        }
                         rejections.push(Rejection {
                             index: victim,
                             arrival: requests[victim].arrival,
@@ -568,6 +840,20 @@ impl<T: IoScalar> Router<T> {
                         queue.push_back(idx);
                         *queued_by_tenant.entry(tenant).or_insert(0) += 1;
                     } else {
+                        if self.obs.logging(LogLevel::Warn) {
+                            self.obs.log(
+                                LogLevel::Warn,
+                                t,
+                                "rejected",
+                                Some(TraceContext::mint(idx, tenant)),
+                                &[
+                                    ("query", Field::U(idx as u64)),
+                                    ("tenant", Field::U(tenant as u64)),
+                                    ("queued", Field::U(queue.len() as u64)),
+                                ],
+                                "admission queue full",
+                            );
+                        }
                         rejections.push(Rejection {
                             index: idx,
                             arrival: t,

@@ -15,8 +15,8 @@ use std::time::Duration;
 use tucker_mpisim::FaultPlan;
 use tucker_serve::workload::{synthetic_store, synthetic_trace, WorkloadConfig};
 use tucker_serve::{
-    Engine, EngineConfig, Request, RetryPolicy, Router, RunConfig, ServeError, TierRunConfig,
-    TuckerStore,
+    Engine, EngineConfig, ObsConfig, Request, RetryPolicy, Router, RunConfig, ServeError,
+    TierRunConfig, TuckerStore,
 };
 
 /// Ground-truth per-request CRCs from the unsharded engine.
@@ -158,5 +158,62 @@ proptest! {
         }
         // Virtual clocks stay finite: no runaway backoff loops.
         prop_assert!(report.makespan.is_finite());
+    }
+
+    /// Observability is a pure side-channel: for any layout and fault plan,
+    /// runs with tracing off, tracing only, logging only, and both produce
+    /// bit-identical completions, the same typed failures, and the same
+    /// virtual timeline — while the instrumented runs actually record.
+    #[test]
+    fn observability_on_off_is_bit_identical(
+        (d0, d1, d2, seed, shards, replicas) in layout_case(),
+        raw_faults in fault_case(),
+    ) {
+        let shards = shards.min(d0);
+        let wl = workload(d0, d1, d2, 24, seed);
+        let trace = synthetic_trace(&wl);
+        let world = shards * replicas;
+        let plan = shape_plan(&raw_faults, world);
+        let tucker = synthetic_store::<f64>(&wl.dims, &wl.ranks);
+        let rc = TierRunConfig {
+            retry: RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
+            ..TierRunConfig::default()
+        };
+
+        let run = |cfg: ObsConfig| {
+            let mut router =
+                Router::new(&tucker, shards, replicas, EngineConfig::default(), &plan);
+            router.enable_obs(cfg);
+            let report = router.run(&trace, &rc);
+            let crcs: BTreeMap<usize, u32> =
+                report.completions.iter().map(|c| (c.index, c.crc)).collect();
+            let failed: Vec<usize> = report.failures.iter().map(|f| f.index).collect();
+            let lat: Vec<u64> = report
+                .completions
+                .iter()
+                .map(|c| (c.finish - c.arrival).to_bits())
+                .collect();
+            let spans = router.observer().span_count();
+            let logs = router.observer().log_lines().len();
+            (crcs, failed, lat, report.makespan.to_bits(), spans, logs)
+        };
+
+        let off = run(ObsConfig::default());
+        let tracing_only = run(ObsConfig { tracing: true, ..ObsConfig::default() });
+        let logging_only = run(ObsConfig { logging: true, ..ObsConfig::default() });
+        let full = run(ObsConfig::full());
+
+        for on in [&tracing_only, &logging_only, &full] {
+            prop_assert_eq!(&on.0, &off.0, "completion CRCs must not move");
+            prop_assert_eq!(&on.1, &off.1, "failure set must not move");
+            prop_assert_eq!(&on.2, &off.2, "latency bits must not move");
+            prop_assert_eq!(on.3, off.3, "makespan bits must not move");
+        }
+        prop_assert_eq!(off.4, 0);
+        prop_assert_eq!(off.5, 0);
+        prop_assert!(tracing_only.4 > 0, "tracing run must record spans");
+        prop_assert_eq!(tracing_only.5, 0, "tracing alone emits no log");
+        prop_assert_eq!(logging_only.4, 0, "logging alone records no spans");
+        prop_assert!(full.4 > 0 && full.5 > 0);
     }
 }

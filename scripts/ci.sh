@@ -241,3 +241,129 @@ assert er <= 1.5, f"committed error ratio {er} above the 1.5x gate"
 assert bit == 1.0, "committed artifact records broken bit-identity"
 print(f"BENCH_pr8.json gate: speedup {sp:.2f}x, error ratio {er:.3f}, bit-identical OK")
 PY
+
+# Observability smoke (DESIGN.md §16): one traced serve-bench run must
+# export a merged Chrome trace telling the crashed query's story (failed
+# attempt span, backoff window, successful failover attempt), a
+# schema-valid serve-log-v1 structured log, an SLO report, and a
+# per-query critical-path attribution — and every artifact must be
+# byte-identical across two runs (pure virtual time).
+trace_a="$ckpt/trace_a"
+trace_b="$ckpt/trace_b"
+"$tucker" serve-bench --quick --trace "$trace_a"
+"$tucker" serve-bench --quick --trace "$trace_b"
+for f in trace.json serve.log slo.json critical_path.txt; do
+    cmp -s "$trace_a/$f" "$trace_b/$f" || {
+        echo "observability smoke: $f differs across identical runs" >&2
+        exit 1
+    }
+done
+python3 - "$trace_a/trace.json" <<'PY'
+import json, re, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "empty trace export"
+spans = [e for e in events if e.get("ph") == "X"]
+crash = [e for e in spans if e["name"].endswith(" crash")]
+assert crash, "no crashed-attempt span in the merged trace"
+q = re.match(r"(q\d+)/", crash[0]["name"]).group(1)
+names = {e["name"] for e in spans}
+assert any(n.startswith(f"{q}/backoff#") for n in names), f"{q}: no backoff span"
+assert any(re.match(rf"{q}/attempt#\d+ s\d+r\d+ ok$", n) for n in names), \
+    f"{q}: no successful failover attempt"
+assert any(e.get("ph") == "i" and e["name"].startswith("fault: ") for e in events), \
+    "no fault instant"
+assert any("/queue" in n for n in names), "no queue-wait span"
+assert any(re.search(r"/(ttm/mode\d+|gemm/mode0|cache (hit|miss)|emit)", n) for n in names), \
+    "no engine plan-step spans"
+print(f"trace export: {len(spans)} spans; {q} shows crash -> backoff -> ok OK")
+PY
+python3 - "$trace_a/serve.log" <<'PY'
+import json, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert lines, "empty structured log"
+events = set()
+for l in lines:
+    rec = json.loads(l)
+    assert list(rec)[:4] == ["schema", "vt", "level", "event"], f"field order: {l}"
+    assert rec["schema"] == "serve-log-v1", f"bad schema: {l}"
+    assert rec["level"] in ("debug", "info", "warn", "error"), f"bad level: {l}"
+    assert "msg" in rec, f"missing msg: {l}"
+    if rec["event"] in ("dispatch", "complete", "failover"):
+        assert len(rec["trace"]) == 16 and len(rec["span"]) == 16, f"bad ids: {l}"
+    events.add(rec["event"])
+assert {"dispatch", "complete", "failover"} <= events, f"missing events: {events}"
+print(f"serve-log-v1: {len(lines)} schema-valid lines, events {sorted(events)} OK")
+PY
+python3 - "$trace_a/slo.json" <<'PY'
+import json, math, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tucker-slo-v1", f"bad schema: {doc.get('schema')}"
+names = [o["name"] for o in doc["objectives"]]
+assert "error_rate" in names and "recovery_ms" in names, names
+assert any(n.startswith("tenant") and n.endswith("/p99_ms") for n in names), names
+for o in doc["objectives"]:
+    for key in ("observed", "objective", "burn_rate"):
+        assert math.isfinite(o[key]) and o[key] >= 0, f"bad {key}: {o}"
+    assert isinstance(o["breached"], bool), f"bad breached: {o}"
+print(f"slo.json: {len(names)} objectives, schema OK")
+PY
+grep -q "per-query critical path" "$trace_a/critical_path.txt"
+grep -q "= request #" "$trace_a/critical_path.txt"
+
+# SLO report determinism + breach acceptance: the healthy quick run must
+# pass byte-identically twice; killing both replicas of shard 0 must exit
+# nonzero naming the breached error_rate objective.
+"$tucker" slo-report --quick --json --out "$ckpt/slo_a.json"
+"$tucker" slo-report --quick --json --out "$ckpt/slo_b.json"
+cmp -s "$ckpt/slo_a.json" "$ckpt/slo_b.json" || {
+    echo "slo smoke: report differs across identical runs" >&2
+    exit 1
+}
+if out="$("$tucker" slo-report --quick \
+        --inject 'crash:rank=0,op=0;crash:rank=1,op=0' 2>&1)"; then
+    echo "slo smoke: double-crash run must breach and exit nonzero" >&2
+    exit 1
+fi
+if ! grep -q "SLO breach.*error_rate" <<<"$out"; then
+    echo "slo smoke: breach did not name error_rate: $out" >&2
+    exit 1
+fi
+echo "slo smoke: deterministic report + named breach on double crash OK"
+
+# Observability overhead smoke: the off/on comparison must run
+# bit-identically and record spans + log lines (the <2% gate itself is
+# enforced only by a full, non---quick run, which produced the committed
+# BENCH_pr9.json).
+obs_json="$ckpt/bench_pr9_smoke.json"
+target/release/bench observability --quick --out "$obs_json"
+python3 - "$obs_json" <<'PY'
+import json, math, sys
+r = json.load(open(sys.argv[1]))
+for key in ("bench", "shape", "ranks", "queries", "off_ms", "on_ms",
+            "overhead_pct", "spans", "log_lines", "bit_identical"):
+    assert key in r, f"missing key {key}: {r}"
+assert r["bench"] == "observability"
+assert r["bit_identical"] is True, "tracing+logging moved the served bits"
+assert r["spans"] > 0 and r["log_lines"] > 0, "instrumented run recorded nothing"
+for key in ("off_ms", "on_ms"):
+    assert math.isfinite(r[key]) and r[key] > 0, f"degenerate {key}: {r[key]}"
+print(f"observability smoke: bit-identical, {r['spans']} spans, "
+      f"{r['log_lines']} log lines OK")
+PY
+
+# Committed PR9 artifact gate: the checked-in BENCH_pr9.json (produced by
+# a full run) must carry the <2% tracing+logging overhead bit-identically.
+python3 - BENCH_pr9.json <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["bench"] == "observability"
+assert r["overhead_pct"] < 2.0, f"committed overhead {r['overhead_pct']}% over the 2% gate"
+assert r["bit_identical"] is True, "committed artifact records broken bit-identity"
+print(f"BENCH_pr9.json gate: {r['overhead_pct']}% overhead, bit-identical OK")
+PY
+
+# Bench regression guard: fresh virtual-time runs of the committed serve
+# and failover benchmarks must stay within 20% of every checked-in gated
+# metric (full mode also re-runs the wall-clock benches).
+target/release/bench regress --quick
